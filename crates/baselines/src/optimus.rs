@@ -1,0 +1,56 @@
+//! Optimus (paper §1/§2.2; Xu et al. 2021): 2-D tensor parallelism for
+//! Transformers built on SUMMA.
+//!
+//! Algorithmically, Optimus is exactly the `d = 1` slice of Tesseract —
+//! the paper's own Table 1 shows Tesseract `[2,2,1]` matching Optimus
+//! `[2,2]` within noise (0.1666 s vs 0.1676 s forward). We therefore
+//! instantiate the 2-D baseline as the Tesseract Transformer on a
+//! `[q, q, 1]` grid (whose matmuls were *tested* to be bitwise equal to
+//! the standalone SUMMA implementation in [`crate::summa`]), wrapped in
+//! its own type so experiment code reads naturally.
+
+use tesseract_comm::{Payload, RankCtx};
+use tesseract_core::layers::linear::ParamRef;
+use tesseract_core::{GridShape, TesseractGrid, TesseractTransformer, TransformerConfig};
+use tesseract_tensor::TensorLike;
+
+/// Creates the `[q, q]` mesh Optimus runs on.
+pub fn optimus_mesh(ctx: &RankCtx, q: usize, base: usize) -> TesseractGrid {
+    TesseractGrid::new(ctx, GridShape::new(q, 1), base)
+}
+
+/// The Optimus 2-D Transformer stack.
+pub struct OptimusTransformer<T> {
+    inner: TesseractTransformer<T>,
+}
+
+impl<T: TensorLike + Payload> OptimusTransformer<T> {
+    /// Builds the stack on a `[q, q]` mesh. `grid` must be depth-1.
+    pub fn new(
+        ctx: &RankCtx,
+        grid: &TesseractGrid,
+        cfg: TransformerConfig,
+        with_bias: bool,
+        seed: u64,
+        base_param_id: u64,
+    ) -> Self {
+        assert_eq!(grid.shape.d, 1, "Optimus is the 2-D (d = 1) scheme");
+        Self { inner: TesseractTransformer::new(ctx, grid, cfg, with_bias, seed, base_param_id) }
+    }
+
+    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+        self.inner.forward(grid, ctx, x)
+    }
+
+    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+        self.inner.backward(grid, ctx, dy)
+    }
+
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        self.inner.visit_params(f);
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.inner.zero_grad();
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the dense tensor kernels — the host-side
+//! compute substrate whose *metered* counterparts drive the simulated
+//! clock. These measure real wall time on the build machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tesseract_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use tesseract_tensor::nn;
+use tesseract_tensor::{Matrix, Xoshiro256StarStar};
+
+fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    Matrix::random_uniform(rows, cols, -1.0, 1.0, &mut rng)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let a = random(n, n, 1);
+        let b = random(n, n, 2);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| matmul(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| matmul_nt(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| matmul_tn(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_nn_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn");
+    group.sample_size(10);
+    let x = random(64, 256, 3);
+    group.bench_function("softmax_rows_64x256", |b| {
+        b.iter(|| nn::softmax_rows(black_box(&x)))
+    });
+    group.bench_function("layernorm_64x256", |b| {
+        b.iter(|| nn::layernorm_rows(black_box(&x), 1e-5))
+    });
+    group.bench_function("gelu_64x256", |b| b.iter(|| nn::gelu_matrix(black_box(&x))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_nn_ops);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmark of a full shadow-backend Table-1-style measurement:
+//! how fast the harness itself regenerates one strong-scaling cell. (The
+//! *simulated* seconds these produce are deterministic; this measures the
+//! host cost of producing them.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tesseract_bench::timing::{time_megatron, time_tesseract};
+use tesseract_core::{GridShape, TransformerConfig};
+
+fn small_cfg() -> TransformerConfig {
+    TransformerConfig { batch: 8, seq: 128, hidden: 512, heads: 8, mlp_ratio: 4, layers: 2, eps: 1e-5 }
+}
+
+fn bench_shadow_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness/shadow_step");
+    group.sample_size(10);
+    group.bench_function("tesseract_2x2x2", |b| {
+        b.iter(|| black_box(time_tesseract(GridShape::new(2, 2), small_cfg())))
+    });
+    group.bench_function("tesseract_4x4x1", |b| {
+        b.iter(|| black_box(time_tesseract(GridShape::new(4, 1), small_cfg())))
+    });
+    group.bench_function("megatron_8", |b| {
+        b.iter(|| black_box(time_megatron(8, small_cfg())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shadow_steps);
+criterion_main!(benches);

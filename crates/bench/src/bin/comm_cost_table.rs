@@ -1,0 +1,101 @@
+//! Reproduces the **§1/§3.1 communication-count claims** (experiment C1):
+//!
+//! * Cannon needs `2p^{3/2} − 2p^{1/2}` transfers per matmul, the 2.5-D
+//!   algorithm `2p − 2p^{1/3}`, Tesseract (d = q) only `2p^{2/3}`;
+//! * at p = 64, Cannon moves 31.5× and 2.5-D 3.75× Tesseract's volume;
+//! * Tesseract wins against Cannon for q > 2 and against 2.5-D for q > 4.
+//!
+//! The closed forms are evaluated and then cross-checked against the
+//! *measured* wire bytes of the actual algorithm implementations running a
+//! same-size matmul on the simulated cluster.
+//!
+//! Run: `cargo run --release -p tesseract-bench --bin comm_cost_table`
+
+use tesseract_baselines::cannon::{cannon_matmul, cannon_mesh};
+use tesseract_baselines::solomonik::{solomonik_grid, solomonik_matmul};
+use tesseract_comm::Cluster;
+use tesseract_core::analysis::{
+    transmissions_25d, transmissions_cannon, transmissions_tesseract_cube,
+};
+use tesseract_core::{mm::tesseract_matmul, GridShape, TesseractGrid};
+use tesseract_tensor::ShadowTensor;
+
+fn main() {
+    println!("## C1 — closed-form transfer counts per matmul (§1/§3.1)\n");
+    println!("| p | Cannon 2p^1.5-2p^0.5 | 2.5-D 2p-2p^(1/3) | Tesseract 2p^(2/3) | Cannon/Tess | 2.5D/Tess |");
+    println!("|---|---|---|---|---|---|");
+    for q in [2usize, 3, 4, 5, 6] {
+        let p = q * q * q;
+        let c = transmissions_cannon(p);
+        let d = transmissions_25d(p);
+        let t = transmissions_tesseract_cube(p);
+        println!("| {p} | {c:.2} | {d:.2} | {t:.2} | {:.2} | {:.2} |", c / t, d / t);
+    }
+    let (c64, d64, t64) =
+        (transmissions_cannon(64), transmissions_25d(64), transmissions_tesseract_cube(64));
+    println!("\npaper's p = 64 claims: Cannon/Tesseract = {:.2} (paper: 31.5), 2.5-D/Tesseract = {:.2} (paper: 3.75)\n", c64 / t64, d64 / t64);
+
+    // Measured cross-check: one Transformer-like matmul — tall activation
+    // A = [a, n] times weight B = [n, n] — at p = 64 in each scheme's
+    // natural arrangement. (For a square one-shot matmul the weight
+    // broadcasts dominate and depth cannot help; the tall-activation case
+    // is the regime tensor parallelism targets and where §3.1's advantage
+    // materializes.)
+    let n = 4096usize;
+    let a_rows = 32768usize; // b·s = 64 × 512
+    println!("## C1 — measured wire bytes for one [{a_rows}, {n}] x [{n}, {n}] matmul at p = 64\n");
+
+    // Cannon on [8, 8].
+    let cannon = Cluster::a100(64).run(|ctx| {
+        let grid = cannon_mesh(ctx, 8, 0);
+        let a = ShadowTensor::new(a_rows / 8, n / 8);
+        let b = ShadowTensor::new(n / 8, n / 8);
+        let _ = cannon_matmul(&grid, ctx, &a, &b);
+    });
+
+    // Solomonik 2.5-D on [4, 4, 4].
+    let solomonik = Cluster::a100(64).run(|ctx| {
+        let grid = solomonik_grid(ctx, 4, 4, 0);
+        let (_, _, k) = grid.coords;
+        let a = (k == 0).then(|| ShadowTensor::new(a_rows / 4, n / 4));
+        let b = (k == 0).then(|| ShadowTensor::new(n / 4, n / 4));
+        let _ = solomonik_matmul(&grid, ctx, a, b);
+    });
+
+    // SUMMA / 2-D Tesseract on [8, 8, 1].
+    let summa = Cluster::a100(64).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, GridShape::new(8, 1), 0);
+        let a = ShadowTensor::new(a_rows / 8, n / 8);
+        let b = ShadowTensor::new(n / 8, n / 8);
+        let _ = tesseract_matmul(&grid, ctx, &a, &b);
+    });
+
+    // Tesseract on [4, 4, 4].
+    let tess = Cluster::a100(64).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, GridShape::new(4, 4), 0);
+        let a = ShadowTensor::new(a_rows / 16, n / 4);
+        let b = ShadowTensor::new(n / 4, n / 4);
+        let _ = tesseract_matmul(&grid, ctx, &a, &b);
+    });
+
+    println!("| algorithm | arrangement | wire bytes | collective calls | vs Tesseract |");
+    println!("|---|---|---|---|---|");
+    let t_bytes = tess.comm.total_wire_bytes() as f64;
+    for (name, arr, out) in [
+        ("Cannon", "[8,8]", &cannon),
+        ("2.5-D (Solomonik)", "[4,4,4]", &solomonik),
+        ("SUMMA / Optimus", "[8,8,1]", &summa),
+        ("Tesseract", "[4,4,4]", &tess),
+    ] {
+        println!(
+            "| {name} | {arr} | {} | {} | {:.2}x |",
+            out.comm.total_wire_bytes(),
+            out.comm.total_calls(),
+            out.comm.total_wire_bytes() as f64 / t_bytes
+        );
+    }
+    println!("\nFor the tall-activation matmuls a Transformer performs, Tesseract moves");
+    println!("the least data, in line with the paper's closed forms (exact multiples");
+    println!("differ because the closed forms count abstract 'transfers' while the");
+    println!("harness counts bytes of concrete block sizes).");
+}

@@ -1,0 +1,101 @@
+//! Reproduces the **Eq. 7–10 memory model** (experiment C2): per-GPU
+//! element counts for one `[a,b] × [b,c]` matmul under Tesseract
+//! (`ab/p + bcd/p + ac/p`) versus Megatron-LM (`ab + bc/p + ac/p`), plus a
+//! measured cross-check: the byte sizes of the blocks the implementations
+//! actually hold.
+//!
+//! Run: `cargo run --release -p tesseract-bench --bin memory_table`
+
+use tesseract_baselines::megatron::{MegatronTransformer, MegatronWorld};
+use tesseract_comm::Cluster;
+use tesseract_core::analysis::{memory_megatron, memory_tesseract};
+use tesseract_core::partition::{a_block_shape, b_block_shape};
+use tesseract_core::{GridShape, TesseractGrid, TesseractTransformer, TransformerConfig};
+use tesseract_tensor::ShadowTensor;
+
+fn main() {
+    // The paper's MLP fc1 shapes: A = [b·s, h], B = [h, 4h].
+    let (b, s, h) = (12usize, 512usize, 3072usize);
+    let (a_rows, a_cols, b_cols) = (b * s, h, 4 * h);
+
+    println!("## C2 — per-GPU memory for one [b·s, h] x [h, 4h] matmul (Eq. 7-10)\n");
+    println!("A = [{a_rows}, {a_cols}], B = [{a_cols}, {b_cols}] (b={b}, s={s}, h={h})\n");
+    println!("| scheme | p | arrangement | formula elements | measured elements | MB (f32) |");
+    println!("|---|---|---|---|---|---|");
+
+    for (q, d) in [(2usize, 1usize), (2, 2), (4, 1), (4, 2), (4, 4), (8, 1)] {
+        let p = q * q * d;
+        let shape = GridShape::new(q, d);
+        let formula = memory_tesseract(a_rows, a_cols, b_cols, q, d);
+        // Measured: the actual block shapes the partitioning produces.
+        let (ar, ac) = a_block_shape(shape, a_rows, a_cols);
+        let (br, bc) = b_block_shape(shape, a_cols, b_cols);
+        let (cr, cc) = a_block_shape(shape, a_rows, b_cols);
+        let measured = (ar * ac + br * bc + cr * cc) as f64;
+        assert!(
+            (formula - measured).abs() / measured < 1e-9,
+            "Eq. 7/8 must match the real block sizes"
+        );
+        println!(
+            "| Tesseract | {p} | [{q},{q},{d}] | {formula:.0} | {measured:.0} | {:.1} |",
+            measured * 4.0 / 1e6
+        );
+    }
+
+    for p in [4usize, 16, 64] {
+        let formula = memory_megatron(a_rows, a_cols, b_cols, p);
+        // Megatron: full A replicated, B column-split, C column-split.
+        let measured = (a_rows * a_cols + a_cols * (b_cols / p) + a_rows * (b_cols / p)) as f64;
+        assert!((formula - measured).abs() / measured < 1e-9);
+        println!(
+            "| Megatron-LM | {p} | [{p}] | {formula:.0} | {measured:.0} | {:.1} |",
+            measured * 4.0 / 1e6
+        );
+    }
+
+    // Measured activation traffic of a full Transformer layer forward:
+    // bytes of op outputs each rank materializes (weights excluded — they
+    // are resident). This extends Eq. 7-10 from one matmul to the layer the
+    // paper actually runs.
+    println!("\n### measured per-GPU activation bytes, one Transformer-layer forward (b=12, s=512, h=3072)\n");
+    println!("| scheme | p | arrangement | activation MB/GPU |");
+    println!("|---|---|---|---|");
+    let cfg = TransformerConfig {
+        batch: 16,
+        seq: 512,
+        hidden: 3072,
+        heads: 64,
+        mlp_ratio: 4,
+        layers: 1,
+        eps: 1e-5,
+    };
+    for (q, d) in [(2usize, 2usize), (4, 4), (8, 1)] {
+        let shape = GridShape::new(q, d);
+        let out = Cluster::a100(shape.size()).run(|ctx| {
+            let grid = TesseractGrid::new(ctx, shape, 0);
+            let mut model = TesseractTransformer::<ShadowTensor>::new(ctx, &grid, cfg, true, 0, 0);
+            let x = ShadowTensor::new(cfg.rows() / (q * d), cfg.hidden / q);
+            let _ = model.forward(&grid, ctx, &x);
+            ctx.flush_compute();
+        });
+        let max_bytes = out.reports.iter().map(|r| r.bytes_allocated).max().unwrap();
+        println!("| Tesseract | {} | [{q},{q},{d}] | {:.1} |", shape.size(), max_bytes as f64 / 1e6);
+    }
+    for p in [4usize, 64] {
+        let out = Cluster::a100(p).run(|ctx| {
+            let world = MegatronWorld::new(ctx, (0..p).collect());
+            let mut model = MegatronTransformer::<ShadowTensor>::new(&world, cfg, true, 0, 0);
+            let x = ShadowTensor::new(cfg.rows(), cfg.hidden);
+            let _ = model.forward(&world, ctx, &x);
+            ctx.flush_compute();
+        });
+        let max_bytes = out.reports.iter().map(|r| r.bytes_allocated).max().unwrap();
+        println!("| Megatron-LM | {p} | [{p}] | {:.1} |", max_bytes as f64 / 1e6);
+    }
+
+    let t = memory_tesseract(a_rows, a_cols, b_cols, 4, 4);
+    let m = memory_megatron(a_rows, a_cols, b_cols, 64);
+    println!("\nAt p = 64: Megatron needs {:.1}x the memory of Tesseract [4,4,4] for this", m / t);
+    println!("matmul — 'Megatron-LM requires p times more memory to store matrix A;");
+    println!("although Tesseract spends more memory on matrix B, it is negligible' (§3.1).");
+}

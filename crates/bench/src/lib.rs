@@ -1,0 +1,19 @@
+//! # tesseract-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the experiment index):
+//!
+//! * [`timing`] — runs the paper-scale Transformer configurations through
+//!   the *shadow* tensor backend on the simulated cluster, producing the
+//!   per-batch forward/backward virtual times behind Tables 1 and 2.
+//! * [`tables`] — the row structures and renderers shared by the binaries.
+//!
+//! Binaries (one per table/figure): `table1_strong_scaling`,
+//! `table2_weak_scaling`, `fig7_training_accuracy`, `fig6_hybrid`,
+//! `comm_cost_table`, `memory_table`, `ablation_depth`.
+
+pub mod tables;
+pub mod timing;
+
+pub use tables::{render_rows, ResultRow};
+pub use timing::{time_megatron, time_tesseract, SchemeTiming};

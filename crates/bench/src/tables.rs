@@ -1,0 +1,93 @@
+//! Result-row structures and text renderers shared by the table binaries.
+
+/// One row of a Table-1/Table-2-style result table.
+#[derive(Clone, Debug)]
+pub struct ResultRow {
+    pub parallelization: String,
+    pub gpus: usize,
+    pub shape: String,
+    pub batch: usize,
+    pub hidden: usize,
+    pub heads: usize,
+    pub forward: f64,
+    pub backward: f64,
+    pub throughput: f64,
+    pub inference: f64,
+    /// Annotation (e.g. batch adjusted for divisibility).
+    pub note: &'static str,
+}
+
+/// Renders rows in the paper's column layout.
+pub fn render_rows(title: &str, rows: &[ResultRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n\n"));
+    out.push_str(
+        "| parallelization | #GPUs | shape | batch | hidden | heads | fwd time/batch (s) | bwd time/batch (s) | throughput (seq/s) | inference (seq/s) | note |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {:.4} | {:.4} | {:.4} | {:.4} | {} |\n",
+            r.parallelization,
+            r.gpus,
+            r.shape,
+            r.batch,
+            r.hidden,
+            r.heads,
+            r.forward,
+            r.backward,
+            r.throughput,
+            r.inference,
+            r.note,
+        ));
+    }
+    out
+}
+
+/// Finds a row by its shape string (for the ratio summaries the paper
+/// quotes in §4.1/§4.2).
+pub fn row<'a>(rows: &'a [ResultRow], shape: &str) -> &'a ResultRow {
+    rows.iter().find(|r| r.shape == shape).unwrap_or_else(|| panic!("no row with shape {shape}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultRow {
+        ResultRow {
+            parallelization: "Tesseract".into(),
+            gpus: 64,
+            shape: "[4,4,4]".into(),
+            batch: 16,
+            hidden: 3072,
+            heads: 64,
+            forward: 0.0869,
+            backward: 0.2636,
+            throughput: 2.8531,
+            inference: 11.5075,
+            note: "",
+        }
+    }
+
+    #[test]
+    fn render_contains_all_fields() {
+        let s = render_rows("Table 1", &[sample()]);
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("[4,4,4]"));
+        assert!(s.contains("0.0869"));
+        assert!(s.contains("2.8531"));
+    }
+
+    #[test]
+    fn row_lookup_by_shape() {
+        let rows = vec![sample()];
+        assert_eq!(row(&rows, "[4,4,4]").gpus, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "no row with shape")]
+    fn row_lookup_panics_on_missing() {
+        let _ = row(&[], "[9,9,9]");
+    }
+}

@@ -1,0 +1,243 @@
+//! The α–β (Hockney) cost model that substitutes for the paper's A100
+//! cluster.
+//!
+//! Every simulated quantity is derived from the constants in [`CostParams`]:
+//! compute time is `flops / flops_rate + kernels · kernel_overhead`, and
+//! each collective charges latency (α) per software step plus bytes / β on
+//! the slowest link its group spans. The Table 1 / Table 2 reproductions
+//! report these virtual seconds; the constants are calibrated to A100-class
+//! hardware so *relative* results (who wins, by what factor) carry over.
+
+use crate::topology::Link;
+
+/// Collective operations the fabric implements. Used for statistics keys and
+/// cost formulas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CollectiveOp {
+    Broadcast,
+    Reduce,
+    AllReduce,
+    AllGather,
+    Gather,
+    Scatter,
+    Shift,
+    Barrier,
+    SendRecv,
+}
+
+impl CollectiveOp {
+    pub const ALL: [CollectiveOp; 9] = [
+        CollectiveOp::Broadcast,
+        CollectiveOp::Reduce,
+        CollectiveOp::AllReduce,
+        CollectiveOp::AllGather,
+        CollectiveOp::Gather,
+        CollectiveOp::Scatter,
+        CollectiveOp::Shift,
+        CollectiveOp::Barrier,
+        CollectiveOp::SendRecv,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollectiveOp::Broadcast => "broadcast",
+            CollectiveOp::Reduce => "reduce",
+            CollectiveOp::AllReduce => "all_reduce",
+            CollectiveOp::AllGather => "all_gather",
+            CollectiveOp::Gather => "gather",
+            CollectiveOp::Scatter => "scatter",
+            CollectiveOp::Shift => "shift",
+            CollectiveOp::Barrier => "barrier",
+            CollectiveOp::SendRecv => "send_recv",
+        }
+    }
+}
+
+/// Calibration constants of the simulated testbed.
+#[derive(Clone, Copy, Debug)]
+pub struct CostParams {
+    /// Effective per-GPU compute throughput in flop/s. 200 TFLOP/s models an
+    /// A100 running fp16/bf16 tensor-core GEMMs (312 TFLOP/s peak) at the
+    /// ~65% efficiency large Transformer GEMMs reach in practice.
+    pub flops_rate: f64,
+    /// Fixed kernel-launch overhead per flop-bearing tensor op, seconds.
+    /// Calibrated low (2 µs) because the simulator's op granularity is
+    /// finer than a fused production kernel schedule.
+    pub kernel_overhead: f64,
+    /// NVLink bandwidth, bytes/s (paper: 200 GB/s).
+    pub nvlink_bandwidth: f64,
+    /// NVLink per-message latency, seconds.
+    pub nvlink_latency: f64,
+    /// InfiniBand bandwidth, bytes/s (paper: 200 Gb/s = 25 GB/s).
+    pub ib_bandwidth: f64,
+    /// InfiniBand per-message latency, seconds.
+    pub ib_latency: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self::a100_cluster()
+    }
+}
+
+impl CostParams {
+    /// Constants calibrated to the paper's testbed (§4).
+    pub fn a100_cluster() -> Self {
+        Self {
+            flops_rate: 200e12,
+            kernel_overhead: 2e-6,
+            nvlink_bandwidth: 200e9,
+            nvlink_latency: 4e-6,
+            ib_bandwidth: 25e9,
+            ib_latency: 12e-6,
+        }
+    }
+
+    /// A zero-latency, infinite-bandwidth variant: isolates pure compute in
+    /// ablations (communication becomes free).
+    pub fn free_comm(mut self) -> Self {
+        self.nvlink_latency = 0.0;
+        self.ib_latency = 0.0;
+        self.nvlink_bandwidth = f64::INFINITY;
+        self.ib_bandwidth = f64::INFINITY;
+        self
+    }
+
+    /// (α seconds, β bytes/s) of a link.
+    pub fn link_params(&self, link: Link) -> (f64, f64) {
+        match link {
+            Link::Local => (0.0, f64::INFINITY),
+            Link::NvLink => (self.nvlink_latency, self.nvlink_bandwidth),
+            Link::InfiniBand => (self.ib_latency, self.ib_bandwidth),
+        }
+    }
+
+    /// Simulated compute time for `flops` of math across `kernels` launches.
+    pub fn compute_time(&self, flops: f64, kernels: u64) -> f64 {
+        flops / self.flops_rate + kernels as f64 * self.kernel_overhead
+    }
+
+    /// Simulated duration of one collective over a group of `n` ranks whose
+    /// slowest link is `link`, where each participating message carries
+    /// `bytes` bytes (the payload size of one rank's contribution).
+    ///
+    /// Formulas are the standard *pipelined* tree/ring costs NCCL-class
+    /// libraries achieve:
+    /// * broadcast / reduce / scatter / gather: pipelined binomial tree,
+    ///   `⌈log₂ n⌉·α + bytes/β` (latency pays the tree depth; bandwidth is
+    ///   paid once because large messages are chunked and pipelined)
+    /// * all-reduce: ring, `2(n−1)α + 2 (n−1)/n · bytes/β`
+    /// * all-gather: ring, `(n−1)α + (n−1) · bytes/β` (each step moves one
+    ///   rank's block)
+    /// * shift: one concurrent point-to-point round, `α + bytes/β`
+    /// * barrier: `2α⌈log₂ n⌉`
+    /// * send/recv: `α + bytes/β`
+    pub fn collective_time(&self, op: CollectiveOp, n: usize, bytes: usize, link: Link) -> f64 {
+        let (alpha, beta) = self.link_params(link);
+        if n <= 1 && !matches!(op, CollectiveOp::SendRecv) {
+            return 0.0;
+        }
+        let b = bytes as f64;
+        let nf = n as f64;
+        let log_n = (n as f64).log2().ceil();
+        match op {
+            CollectiveOp::Broadcast
+            | CollectiveOp::Reduce
+            | CollectiveOp::Scatter
+            | CollectiveOp::Gather => log_n * alpha + b / beta,
+            CollectiveOp::AllReduce => 2.0 * (nf - 1.0) * alpha + 2.0 * (nf - 1.0) / nf * b / beta,
+            CollectiveOp::AllGather => (nf - 1.0) * (alpha + b / beta),
+            CollectiveOp::Shift | CollectiveOp::SendRecv => alpha + b / beta,
+            CollectiveOp::Barrier => 2.0 * alpha * log_n,
+        }
+    }
+
+    /// Total bytes a collective puts on the wire (for volume accounting):
+    /// the standard logical volumes of the algorithms above.
+    pub fn wire_bytes(&self, op: CollectiveOp, n: usize, bytes: usize) -> u64 {
+        if n <= 1 && !matches!(op, CollectiveOp::SendRecv) {
+            return 0;
+        }
+        let b = bytes as u64;
+        let n64 = n as u64;
+        match op {
+            CollectiveOp::Broadcast | CollectiveOp::Reduce => b * (n64 - 1),
+            CollectiveOp::AllReduce => 2 * b * (n64 - 1),
+            CollectiveOp::AllGather | CollectiveOp::Gather | CollectiveOp::Scatter => {
+                b * (n64 - 1)
+            }
+            CollectiveOp::Shift => b * n64,
+            CollectiveOp::Barrier => 0,
+            CollectiveOp::SendRecv => b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_time_combines_rate_and_overhead() {
+        let p = CostParams::a100_cluster();
+        let t = p.compute_time(200e12, 2);
+        assert!((t - (1.0 + 2.0 * 2e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singleton_collectives_are_free() {
+        let p = CostParams::a100_cluster();
+        for op in CollectiveOp::ALL {
+            if op != CollectiveOp::SendRecv {
+                assert_eq!(p.collective_time(op, 1, 1024, Link::NvLink), 0.0, "{op:?}");
+                assert_eq!(p.wire_bytes(op, 1, 1024), 0, "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn ib_is_slower_than_nvlink() {
+        let p = CostParams::a100_cluster();
+        let nv = p.collective_time(CollectiveOp::AllReduce, 4, 1 << 20, Link::NvLink);
+        let ib = p.collective_time(CollectiveOp::AllReduce, 4, 1 << 20, Link::InfiniBand);
+        assert!(ib > nv);
+    }
+
+    #[test]
+    fn broadcast_latency_scales_logarithmically_but_bandwidth_does_not() {
+        let p = CostParams::a100_cluster();
+        // Tiny message: latency-bound, 3x the tree depth of n = 2.
+        let t2 = p.collective_time(CollectiveOp::Broadcast, 2, 0, Link::NvLink);
+        let t8 = p.collective_time(CollectiveOp::Broadcast, 8, 0, Link::NvLink);
+        assert!((t8 / t2 - 3.0).abs() < 1e-9);
+        // Huge message: pipelined, nearly independent of n.
+        let b2 = p.collective_time(CollectiveOp::Broadcast, 2, 1 << 30, Link::NvLink);
+        let b8 = p.collective_time(CollectiveOp::Broadcast, 8, 1 << 30, Link::NvLink);
+        assert!(b8 / b2 < 1.01);
+    }
+
+    #[test]
+    fn all_reduce_volume_is_twice_broadcast() {
+        let p = CostParams::a100_cluster();
+        assert_eq!(
+            p.wire_bytes(CollectiveOp::AllReduce, 4, 100),
+            2 * p.wire_bytes(CollectiveOp::Broadcast, 4, 100)
+        );
+    }
+
+    #[test]
+    fn free_comm_zeroes_communication() {
+        let p = CostParams::a100_cluster().free_comm();
+        for op in CollectiveOp::ALL {
+            assert_eq!(p.collective_time(op, 8, 1 << 20, Link::InfiniBand), 0.0, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn larger_payload_costs_more() {
+        let p = CostParams::a100_cluster();
+        let small = p.collective_time(CollectiveOp::AllGather, 4, 1024, Link::InfiniBand);
+        let big = p.collective_time(CollectiveOp::AllGather, 4, 1 << 22, Link::InfiniBand);
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,148 @@
+//! Per-rank execution context: the "device" each SPMD worker drives.
+//!
+//! A [`RankCtx`] owns the rank's virtual clock and compute meter. Tensor ops
+//! charge `ctx.meter`; collectives (and [`RankCtx::flush_compute`]) fold the
+//! pending meter into the clock using the cost model, so simulated time is
+//! always `compute time + communication time` regardless of how fast the
+//! host machine happens to be.
+
+use std::sync::Arc;
+
+use tesseract_tensor::Meter;
+
+use crate::cost::CostParams;
+use crate::fabric::Fabric;
+use crate::group::CommGroup;
+use crate::stats::StatsCollector;
+use crate::topology::Topology;
+
+/// One rank's view of the simulated cluster.
+pub struct RankCtx {
+    /// Global rank id, `0..world`.
+    pub rank: usize,
+    /// Total number of ranks in the cluster.
+    pub world: usize,
+    /// Cost-model constants (shared by all ranks).
+    pub params: CostParams,
+    /// Physical topology (shared by all ranks).
+    pub topology: Topology,
+    /// Compute meter tensors charge into; flushed into the clock at
+    /// synchronization points.
+    pub meter: Meter,
+    clock: f64,
+    compute_time: f64,
+    comm_time: f64,
+    total_flops: f64,
+    total_kernels: u64,
+    total_bytes_allocated: u64,
+    fabric: Arc<Fabric>,
+    stats: Arc<StatsCollector>,
+}
+
+impl RankCtx {
+    pub(crate) fn new(
+        rank: usize,
+        world: usize,
+        params: CostParams,
+        topology: Topology,
+        fabric: Arc<Fabric>,
+        stats: Arc<StatsCollector>,
+    ) -> Self {
+        Self {
+            rank,
+            world,
+            params,
+            topology,
+            meter: Meter::new(),
+            clock: 0.0,
+            compute_time: 0.0,
+            comm_time: 0.0,
+            total_flops: 0.0,
+            total_kernels: 0,
+            total_bytes_allocated: 0,
+            fabric,
+            stats,
+        }
+    }
+
+    /// Current virtual time (seconds since run start).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    pub(crate) fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    pub(crate) fn stats(&self) -> &StatsCollector {
+        &self.stats
+    }
+
+    /// Converts all pending metered compute into virtual time. Collectives
+    /// call this automatically; call it manually before reading the clock.
+    pub fn flush_compute(&mut self) {
+        let m = self.meter.take();
+        self.total_bytes_allocated += m.bytes_allocated;
+        if m.flops > 0.0 || m.kernels > 0 {
+            let t = self.params.compute_time(m.flops, m.kernels);
+            self.clock += t;
+            self.compute_time += t;
+            self.total_flops += m.flops;
+            self.total_kernels += m.kernels;
+        }
+    }
+
+    /// Advances the clock to `new_time` (a collective exit time), booking
+    /// the difference as communication/wait time.
+    pub(crate) fn advance_comm(&mut self, new_time: f64) {
+        if new_time > self.clock {
+            self.comm_time += new_time - self.clock;
+            self.clock = new_time;
+        }
+    }
+
+    /// Creates a communication group containing this rank. See
+    /// [`CommGroup::new`] for the SPMD contract.
+    pub fn group(&self, tag: &str, ranks: Vec<usize>) -> CommGroup {
+        CommGroup::new(self, tag, ranks)
+    }
+
+    /// Group over all ranks in the cluster.
+    pub fn world_group(&self) -> CommGroup {
+        self.group("world", (0..self.world).collect())
+    }
+
+    /// Final accounting snapshot for this rank.
+    pub fn report(&mut self) -> RankReport {
+        self.flush_compute();
+        RankReport {
+            rank: self.rank,
+            virtual_time: self.clock,
+            compute_time: self.compute_time,
+            comm_time: self.comm_time,
+            flops: self.total_flops,
+            kernels: self.total_kernels,
+            bytes_allocated: self.total_bytes_allocated,
+        }
+    }
+}
+
+/// Per-rank timing/throughput summary returned from a cluster run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankReport {
+    pub rank: usize,
+    /// Total simulated seconds (compute + communication + wait).
+    pub virtual_time: f64,
+    /// Simulated seconds spent in metered compute.
+    pub compute_time: f64,
+    /// Simulated seconds spent in collectives (including skew wait).
+    pub comm_time: f64,
+    /// Total flops this rank performed.
+    pub flops: f64,
+    /// Total kernel launches this rank performed.
+    pub kernels: u64,
+    /// Total bytes of op outputs this rank materialized (an
+    /// activation-traffic proxy; weights are counted once at construction
+    /// via the concat in layer constructors).
+    pub bytes_allocated: u64,
+}

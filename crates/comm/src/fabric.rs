@@ -1,0 +1,262 @@
+//! The rendezvous fabric: the shared-memory "wire" of the simulated cluster.
+//!
+//! Two primitives are provided:
+//!
+//! * [`Fabric::exchange`] — an n-way rendezvous: every member of a group
+//!   deposits an optional payload under a `(group id, sequence)` key; once
+//!   all `n` members have arrived, everyone receives the full deposit vector
+//!   plus the maximum entry virtual-time (collectives synchronize clocks to
+//!   the slowest participant). All collectives are built on this.
+//! * [`Fabric::send`] / [`Fabric::recv`] — ordered point-to-point channels
+//!   keyed by `(group id, src, dst, tag)`, used by pipeline parallelism.
+//!
+//! SPMD contract: all members of a group must invoke the same collectives
+//! in the same order. A timeout (default 120 s, env-overridable)
+//! converts a violated contract (or a peer that panicked) into a
+//! diagnosable panic instead of a hang. The default is 120 seconds.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// How long a rank waits at a rendezvous before declaring the run wedged.
+/// Overridable via `TESSERACT_RENDEZVOUS_TIMEOUT_SECS` (tests that inject
+/// failures shrink it so the surviving ranks fail fast).
+fn rendezvous_timeout() -> Duration {
+    let secs = std::env::var("TESSERACT_RENDEZVOUS_TIMEOUT_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    Duration::from_secs(secs)
+}
+
+type SlotKey = (u64, u64);
+type ChanKey = (u64, usize, usize, u64);
+
+struct Slot {
+    deposits: Vec<Option<Box<dyn Any + Send>>>,
+    entry_vts: Vec<f64>,
+    arrived: usize,
+    /// `(max entry vt, downcast-ready vector)` once all members arrived.
+    result: Option<(f64, Arc<dyn Any + Send + Sync>)>,
+    taken: usize,
+}
+
+impl Slot {
+    fn new(n: usize) -> Self {
+        Self {
+            deposits: (0..n).map(|_| None).collect(),
+            entry_vts: Vec::with_capacity(n),
+            arrived: 0,
+            result: None,
+            taken: 0,
+        }
+    }
+}
+
+#[derive(Default)]
+struct FabricState {
+    slots: HashMap<SlotKey, Slot>,
+    channels: HashMap<ChanKey, VecDeque<(f64, Box<dyn Any + Send>)>>,
+}
+
+/// Shared rendezvous state for one cluster run.
+pub struct Fabric {
+    state: Mutex<FabricState>,
+    cond: Condvar,
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fabric {
+    pub fn new() -> Self {
+        Self { state: Mutex::new(FabricState::default()), cond: Condvar::new() }
+    }
+
+    /// N-way rendezvous. Returns `(max entry vt, deposits)` where
+    /// `deposits[i]` is member `i`'s payload (if it deposited one).
+    ///
+    /// Panics if a member deposits twice under one key (a sequencing bug) or
+    /// if the rendezvous does not complete within the timeout.
+    pub fn exchange<P: Send + Sync + 'static>(
+        &self,
+        key: SlotKey,
+        my_index: usize,
+        n: usize,
+        payload: Option<P>,
+        entry_vt: f64,
+    ) -> (f64, Arc<Vec<Option<P>>>) {
+        let mut state = self.state.lock();
+        {
+            let slot = state.slots.entry(key).or_insert_with(|| Slot::new(n));
+            assert_eq!(
+                slot.deposits.len(),
+                n,
+                "group size disagreement at rendezvous {key:?}"
+            );
+            assert!(
+                slot.deposits[my_index].is_none() && slot.result.is_none(),
+                "member {my_index} deposited twice at rendezvous {key:?}"
+            );
+            slot.deposits[my_index] = Some(Box::new(payload));
+            slot.entry_vts.push(entry_vt);
+            slot.arrived += 1;
+            if slot.arrived == n {
+                let max_vt = slot.entry_vts.iter().copied().fold(f64::MIN, f64::max);
+                let vec: Vec<Option<P>> = slot
+                    .deposits
+                    .iter_mut()
+                    .map(|d| {
+                        *d.take()
+                            .expect("all deposits present")
+                            .downcast::<Option<P>>()
+                            .expect("payload type mismatch within one rendezvous")
+                    })
+                    .collect();
+                slot.result = Some((max_vt, Arc::new(vec)));
+                self.cond.notify_all();
+            }
+        }
+
+        loop {
+            if let Some(slot) = state.slots.get_mut(&key) {
+                if let Some((max_vt, result)) = slot.result.clone() {
+                    slot.taken += 1;
+                    if slot.taken == n {
+                        state.slots.remove(&key);
+                    }
+                    let arc = result
+                        .downcast::<Vec<Option<P>>>()
+                        .expect("payload type mismatch within one rendezvous");
+                    return (max_vt, arc);
+                }
+            }
+            if self.cond.wait_for(&mut state, rendezvous_timeout()).timed_out() {
+                panic!(
+                    "rendezvous {key:?} timed out (member {my_index} of {n}); \
+                     a peer likely panicked or collectives were issued out of order"
+                );
+            }
+        }
+    }
+
+    /// Deposits a point-to-point message; never blocks.
+    pub fn send<P: Send + 'static>(&self, chan: ChanKey, payload: P, send_vt: f64) {
+        let mut state = self.state.lock();
+        state.channels.entry(chan).or_default().push_back((send_vt, Box::new(payload)));
+        self.cond.notify_all();
+    }
+
+    /// Receives the oldest message on a channel, blocking until one arrives.
+    /// Returns `(sender's vt at send, payload)`.
+    pub fn recv<P: Send + 'static>(&self, chan: ChanKey) -> (f64, P) {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(queue) = state.channels.get_mut(&chan) {
+                if let Some((vt, payload)) = queue.pop_front() {
+                    if queue.is_empty() {
+                        state.channels.remove(&chan);
+                    }
+                    let payload = *payload.downcast::<P>().expect("p2p payload type mismatch");
+                    return (vt, payload);
+                }
+            }
+            if self.cond.wait_for(&mut state, rendezvous_timeout()).timed_out() {
+                panic!("recv on channel {chan:?} timed out; sender likely panicked");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn exchange_gathers_all_payloads() {
+        let fabric = Arc::new(Fabric::new());
+        let n = 4;
+        let results: Vec<(f64, Arc<Vec<Option<u32>>>)> = thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let f = Arc::clone(&fabric);
+                    s.spawn(move || f.exchange((1, 0), i, n, Some(i as u32 * 10), i as f64))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (max_vt, vec) in &results {
+            assert_eq!(*max_vt, 3.0);
+            let vals: Vec<u32> = vec.iter().map(|v| v.unwrap()).collect();
+            assert_eq!(vals, vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn exchange_slot_is_reusable_after_completion() {
+        let fabric = Arc::new(Fabric::new());
+        for round in 0..3u64 {
+            let results: Vec<_> = thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|i| {
+                        let f = Arc::clone(&fabric);
+                        s.spawn(move || f.exchange((7, round), i, 2, Some(round), 0.0))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(results[0].1.len(), 2);
+        }
+        assert!(fabric.state.lock().slots.is_empty(), "slots must be garbage-collected");
+    }
+
+    #[test]
+    fn exchange_supports_none_deposits() {
+        let fabric = Arc::new(Fabric::new());
+        let results: Vec<_> = thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|i| {
+                    let f = Arc::clone(&fabric);
+                    s.spawn(move || {
+                        let payload = if i == 1 { Some(99u8) } else { None };
+                        f.exchange((2, 0), i, 3, payload, 0.0)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (_, vec) in results {
+            assert_eq!(vec.as_ref(), &vec![None, Some(99), None]);
+        }
+    }
+
+    #[test]
+    fn p2p_preserves_fifo_order_and_vt() {
+        let fabric = Fabric::new();
+        fabric.send((0, 0, 1, 0), "first", 1.5);
+        fabric.send((0, 0, 1, 0), "second", 2.5);
+        let (vt1, m1): (f64, &str) = fabric.recv((0, 0, 1, 0));
+        let (vt2, m2): (f64, &str) = fabric.recv((0, 0, 1, 0));
+        assert_eq!((vt1, m1), (1.5, "first"));
+        assert_eq!((vt2, m2), (2.5, "second"));
+    }
+
+    #[test]
+    fn p2p_blocks_until_send() {
+        let fabric = Arc::new(Fabric::new());
+        let f2 = Arc::clone(&fabric);
+        let recv = thread::spawn(move || f2.recv::<u64>((0, 0, 1, 7)));
+        thread::sleep(Duration::from_millis(20));
+        fabric.send((0, 0, 1, 7), 42u64, 0.0);
+        let (_, v) = recv.join().unwrap();
+        assert_eq!(v, 42);
+    }
+}

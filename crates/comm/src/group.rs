@@ -1,0 +1,329 @@
+//! Process groups and collectives.
+//!
+//! A [`CommGroup`] is one rank's handle onto a subset of ranks (a grid row,
+//! column or depth fiber). Collectives mirror the NCCL/MPI operations the
+//! paper's implementation uses: broadcast, reduce, all-reduce, all-gather,
+//! gather, scatter, cyclic shift (Cannon), barrier and point-to-point
+//! send/recv. Each call:
+//!
+//! 1. flushes the caller's pending compute into its virtual clock,
+//! 2. rendezvouses with the other members through the [`crate::fabric::Fabric`],
+//! 3. advances everyone's clock to `max(entry clocks) + α–β cost`, and
+//! 4. records wire bytes / call counts once per logical operation.
+//!
+//! Reductions combine deposits in ascending member order, so results are
+//! bitwise deterministic run-to-run.
+
+use std::cell::Cell;
+
+use tesseract_tensor::TensorLike;
+
+use crate::cost::CollectiveOp;
+use crate::ctx::RankCtx;
+
+/// Data that can travel through collectives.
+pub trait Payload: Clone + Send + Sync + 'static {
+    /// Size of one rank's contribution on the wire, in bytes.
+    fn wire_size(&self) -> usize;
+    /// Elementwise combine for reductions.
+    fn combine(&mut self, other: &Self);
+}
+
+impl Payload for tesseract_tensor::DenseTensor {
+    fn wire_size(&self) -> usize {
+        self.byte_size()
+    }
+
+    fn combine(&mut self, other: &Self) {
+        self.reduce_add_inplace(other);
+    }
+}
+
+impl Payload for tesseract_tensor::ShadowTensor {
+    fn wire_size(&self) -> usize {
+        self.byte_size()
+    }
+
+    fn combine(&mut self, other: &Self) {
+        self.reduce_add_inplace(other);
+    }
+}
+
+impl Payload for () {
+    fn wire_size(&self) -> usize {
+        0
+    }
+
+    fn combine(&mut self, _other: &Self) {}
+}
+
+impl<P: Payload> Payload for Vec<P> {
+    fn wire_size(&self) -> usize {
+        self.iter().map(Payload::wire_size).sum()
+    }
+
+    fn combine(&mut self, other: &Self) {
+        assert_eq!(self.len(), other.len(), "Vec payload length mismatch in reduce");
+        for (a, b) in self.iter_mut().zip(other.iter()) {
+            a.combine(b);
+        }
+    }
+}
+
+/// FNV-1a over a tag and the member ranks; gives every distinct group a
+/// stable identifier shared by all of its members.
+fn group_id(tag: &str, ranks: &[usize]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for b in tag.as_bytes() {
+        eat(*b);
+    }
+    eat(0xff);
+    for &r in ranks {
+        for b in (r as u64).to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// One rank's handle onto a communication group.
+///
+/// Contract (SPMD): every member constructs the group with the same `tag`
+/// and the same rank list (same order), constructs it once, and issues the
+/// same collectives in the same order.
+pub struct CommGroup {
+    id: u64,
+    ranks: Vec<usize>,
+    my_index: usize,
+    seq: Cell<u64>,
+}
+
+impl CommGroup {
+    /// Creates this rank's handle. `ranks` must contain `ctx.rank`.
+    pub fn new(ctx: &RankCtx, tag: &str, ranks: Vec<usize>) -> Self {
+        let my_index = ranks
+            .iter()
+            .position(|&r| r == ctx.rank)
+            .unwrap_or_else(|| panic!("rank {} not a member of group '{tag}' {ranks:?}", ctx.rank));
+        Self { id: group_id(tag, &ranks), ranks, my_index, seq: Cell::new(0) }
+    }
+
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    pub fn my_index(&self) -> usize {
+        self.my_index
+    }
+
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    fn next_seq(&self) -> u64 {
+        let s = self.seq.get();
+        self.seq.set(s + 1);
+        s
+    }
+
+    /// Runs one rendezvous and applies clock/cost/stat accounting.
+    /// `bytes` is the per-rank payload size used by the cost formulas.
+    fn sync<P: Send + Sync + 'static>(
+        &self,
+        ctx: &mut RankCtx,
+        op: CollectiveOp,
+        bytes: usize,
+        payload: Option<P>,
+        record: bool,
+    ) -> std::sync::Arc<Vec<Option<P>>> {
+        ctx.flush_compute();
+        let key = (self.id, self.next_seq());
+        let entry = ctx.clock();
+        let (max_vt, deposits) =
+            ctx.fabric().exchange(key, self.my_index, self.size(), payload, entry);
+        let link = ctx.topology.worst_link(&self.ranks);
+        let cost = ctx.params.collective_time(op, self.size(), bytes, link);
+        ctx.advance_comm(max_vt + cost);
+        if record && self.my_index == 0 {
+            let wire = ctx.params.wire_bytes(op, self.size(), bytes);
+            ctx.stats().record(op, wire, cost);
+        }
+        deposits
+    }
+
+    /// Synchronizes all members without moving data.
+    pub fn barrier(&self, ctx: &mut RankCtx) {
+        let _ = self.sync::<()>(ctx, CollectiveOp::Barrier, 0, Some(()), true);
+    }
+
+    /// Root (by member index) provides the payload; everyone receives it.
+    pub fn broadcast<P: Payload>(&self, ctx: &mut RankCtx, root: usize, payload: Option<P>) -> P {
+        assert_eq!(
+            payload.is_some(),
+            self.my_index == root,
+            "broadcast: exactly the root must supply the payload"
+        );
+        // The root's payload size drives the cost; non-roots don't know it
+        // yet, which is fine: cost is applied identically from the deposit.
+        let deposits = self.sync(ctx, CollectiveOp::Broadcast, 0, payload, false);
+        let value = deposits[root].as_ref().expect("root deposited").clone();
+        // Re-charge time/stats now that the size is known (sync charged 0).
+        self.recharge(ctx, CollectiveOp::Broadcast, value.wire_size());
+        value
+    }
+
+    /// Adds the cost of an op whose byte size was only known after the
+    /// rendezvous. Keeps clocks identical across members because every
+    /// member executes the same re-charge.
+    fn recharge(&self, ctx: &mut RankCtx, op: CollectiveOp, bytes: usize) {
+        let link = ctx.topology.worst_link(&self.ranks);
+        let cost = ctx.params.collective_time(op, self.size(), bytes, link);
+        ctx.advance_comm(ctx.clock() + cost);
+        if self.my_index == 0 {
+            let wire = ctx.params.wire_bytes(op, self.size(), bytes);
+            ctx.stats().record(op, wire, cost);
+        }
+    }
+
+    /// Sum-reduction to `root`; only the root receives the combined value.
+    pub fn reduce<P: Payload>(&self, ctx: &mut RankCtx, root: usize, payload: P) -> Option<P> {
+        let bytes = payload.wire_size();
+        let deposits = self.sync(ctx, CollectiveOp::Reduce, bytes, Some(payload), true);
+        if self.my_index == root {
+            Some(combine_in_order(&deposits))
+        } else {
+            None
+        }
+    }
+
+    /// Sum-reduction delivered to every member.
+    pub fn all_reduce<P: Payload>(&self, ctx: &mut RankCtx, payload: P) -> P {
+        let bytes = payload.wire_size();
+        let deposits = self.sync(ctx, CollectiveOp::AllReduce, bytes, Some(payload), true);
+        combine_in_order(&deposits)
+    }
+
+    /// Every member receives every member's payload, in member order.
+    pub fn all_gather<P: Payload>(&self, ctx: &mut RankCtx, payload: P) -> Vec<P> {
+        let bytes = payload.wire_size();
+        let deposits = self.sync(ctx, CollectiveOp::AllGather, bytes, Some(payload), true);
+        deposits.iter().map(|d| d.as_ref().expect("all deposited").clone()).collect()
+    }
+
+    /// Root receives every member's payload, in member order.
+    pub fn gather<P: Payload>(&self, ctx: &mut RankCtx, root: usize, payload: P) -> Option<Vec<P>> {
+        let bytes = payload.wire_size();
+        let deposits = self.sync(ctx, CollectiveOp::Gather, bytes, Some(payload), true);
+        if self.my_index == root {
+            Some(deposits.iter().map(|d| d.as_ref().expect("all deposited").clone()).collect())
+        } else {
+            None
+        }
+    }
+
+    /// Root provides one payload per member; each member receives its own.
+    pub fn scatter<P: Payload>(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        parts: Option<Vec<P>>,
+    ) -> P {
+        if let Some(ref p) = parts {
+            assert_eq!(p.len(), self.size(), "scatter: need one part per member");
+        }
+        assert_eq!(
+            parts.is_some(),
+            self.my_index == root,
+            "scatter: exactly the root must supply the parts"
+        );
+        let deposits = self.sync(ctx, CollectiveOp::Scatter, 0, parts, false);
+        let all = deposits[root].as_ref().expect("root deposited");
+        let mine = all[self.my_index].clone();
+        self.recharge(ctx, CollectiveOp::Scatter, mine.wire_size());
+        mine
+    }
+
+    /// Cyclic shift: every member sends its payload `offset` positions
+    /// forward (member order, wrapping) and receives from `offset` behind.
+    /// `offset` may be negative. This is Cannon's primitive.
+    pub fn shift<P: Payload>(&self, ctx: &mut RankCtx, offset: isize, payload: P) -> P {
+        let n = self.size() as isize;
+        let bytes = payload.wire_size();
+        let deposits = self.sync(ctx, CollectiveOp::Shift, bytes, Some(payload), true);
+        let src = (self.my_index as isize - offset).rem_euclid(n) as usize;
+        deposits[src].as_ref().expect("all deposited").clone()
+    }
+
+    /// Point-to-point send to another member (by member index).
+    pub fn send<P: Payload>(&self, ctx: &mut RankCtx, dst: usize, tag: u64, payload: P) {
+        assert!(dst < self.size() && dst != self.my_index, "send: bad destination");
+        ctx.flush_compute();
+        let bytes = payload.wire_size();
+        let chan = (self.id, self.my_index, dst, tag);
+        ctx.fabric().send(chan, payload, ctx.clock());
+        let link = ctx.topology.link_between(self.ranks[self.my_index], self.ranks[dst]);
+        let (alpha, _) = ctx.params.link_params(link);
+        // The sender only pays injection latency; transfer time is charged
+        // to the receiver (eager-send model).
+        ctx.advance_comm(ctx.clock() + alpha);
+        let wire = ctx.params.wire_bytes(CollectiveOp::SendRecv, 2, bytes);
+        ctx.stats().record(CollectiveOp::SendRecv, wire, 0.0);
+    }
+
+    /// Point-to-point receive from another member (by member index).
+    pub fn recv<P: Payload>(&self, ctx: &mut RankCtx, src: usize, tag: u64) -> P {
+        assert!(src < self.size() && src != self.my_index, "recv: bad source");
+        ctx.flush_compute();
+        let chan = (self.id, src, self.my_index, tag);
+        let (send_vt, payload): (f64, P) = ctx.fabric().recv(chan);
+        let link = ctx.topology.link_between(self.ranks[src], self.ranks[self.my_index]);
+        let cost =
+            ctx.params.collective_time(CollectiveOp::SendRecv, 2, payload.wire_size(), link);
+        let ready = send_vt.max(ctx.clock());
+        ctx.advance_comm(ready + cost);
+        payload
+    }
+}
+
+/// Combines deposits in ascending member order (deterministic reduction).
+fn combine_in_order<P: Payload>(deposits: &[Option<P>]) -> P {
+    let mut iter = deposits.iter();
+    let mut acc = iter.next().expect("non-empty group").as_ref().expect("deposited").clone();
+    for d in iter {
+        acc.combine(d.as_ref().expect("deposited"));
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_ids_differ_by_ranks_and_tag() {
+        let a = group_id("row", &[0, 1]);
+        let b = group_id("row", &[2, 3]);
+        let c = group_id("col", &[0, 1]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, group_id("row", &[0, 1]));
+    }
+
+    #[test]
+    fn vec_payload_sizes_and_combines() {
+        use tesseract_tensor::{DenseTensor, Matrix};
+        let a = vec![
+            DenseTensor::from_matrix(Matrix::full(2, 2, 1.0)),
+            DenseTensor::from_matrix(Matrix::full(1, 2, 2.0)),
+        ];
+        assert_eq!(a.wire_size(), (4 + 2) * 4);
+        let mut acc = a.clone();
+        acc.combine(&a);
+        assert_eq!(acc[0].matrix().data(), &[2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(acc[1].matrix().data(), &[4.0, 4.0]);
+    }
+}

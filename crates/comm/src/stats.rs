@@ -1,0 +1,121 @@
+//! Aggregated communication statistics for a cluster run.
+//!
+//! The experiment harness uses these to report exact message counts and
+//! wire volumes per scheme (the paper's §3.1 transmission-count claims) and
+//! the per-rank communication time that feeds the Table 1/2 rows.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::cost::CollectiveOp;
+
+/// Totals for one collective op type.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OpStats {
+    /// Number of collective invocations (one per group call, not per rank).
+    pub calls: u64,
+    /// Total logical bytes moved on the wire across all calls.
+    pub wire_bytes: u64,
+    /// Total simulated seconds spent (per call, not multiplied by ranks).
+    pub time: f64,
+}
+
+/// Shared, thread-safe statistics collector for one cluster run.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    inner: Mutex<HashMap<CollectiveOp, OpStats>>,
+}
+
+impl StatsCollector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed collective. Called exactly once per collective
+    /// (by the last-arriving rank), so counts are per logical operation.
+    pub fn record(&self, op: CollectiveOp, wire_bytes: u64, time: f64) {
+        let mut inner = self.inner.lock();
+        let entry = inner.entry(op).or_default();
+        entry.calls += 1;
+        entry.wire_bytes += wire_bytes;
+        entry.time += time;
+    }
+
+    /// Snapshot of all op totals.
+    pub fn snapshot(&self) -> CommStats {
+        CommStats { per_op: self.inner.lock().clone() }
+    }
+}
+
+/// Immutable snapshot of the collector, returned from a cluster run.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    pub per_op: HashMap<CollectiveOp, OpStats>,
+}
+
+impl CommStats {
+    pub fn get(&self, op: CollectiveOp) -> OpStats {
+        self.per_op.get(&op).copied().unwrap_or_default()
+    }
+
+    /// Total wire bytes across all collective types.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.per_op.values().map(|s| s.wire_bytes).sum()
+    }
+
+    /// Total collective invocations across all types.
+    pub fn total_calls(&self) -> u64 {
+        self.per_op.values().map(|s| s.calls).sum()
+    }
+
+    /// Renders a small human-readable table (used by examples and bins).
+    pub fn render_table(&self) -> String {
+        let mut out = String::from("collective    calls      wire bytes        sim time (s)\n");
+        let mut ops: Vec<_> = self.per_op.iter().collect();
+        ops.sort_by_key(|(op, _)| op.name());
+        for (op, s) in ops {
+            out.push_str(&format!(
+                "{:<12} {:>6} {:>15} {:>19.6}\n",
+                op.name(),
+                s.calls,
+                s.wire_bytes,
+                s.time
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let c = StatsCollector::new();
+        c.record(CollectiveOp::AllReduce, 100, 0.5);
+        c.record(CollectiveOp::AllReduce, 50, 0.25);
+        c.record(CollectiveOp::Broadcast, 10, 0.1);
+        let s = c.snapshot();
+        assert_eq!(s.get(CollectiveOp::AllReduce).calls, 2);
+        assert_eq!(s.get(CollectiveOp::AllReduce).wire_bytes, 150);
+        assert_eq!(s.total_wire_bytes(), 160);
+        assert_eq!(s.total_calls(), 3);
+    }
+
+    #[test]
+    fn missing_op_reads_zero() {
+        let s = StatsCollector::new().snapshot();
+        assert_eq!(s.get(CollectiveOp::Shift), OpStats::default());
+    }
+
+    #[test]
+    fn render_table_contains_ops() {
+        let c = StatsCollector::new();
+        c.record(CollectiveOp::Gather, 7, 0.0);
+        let table = c.snapshot().render_table();
+        assert!(table.contains("gather"));
+        assert!(table.contains('7'));
+    }
+}

@@ -1,0 +1,115 @@
+//! Cluster topology: which ranks share a node, and what link connects them.
+//!
+//! The paper's testbed (Meluxina) has 4 NVIDIA A100 GPUs per node, NVLink
+//! (200 GB/s) inside a node and InfiniBand (200 Gb/s ≈ 25 GB/s) between
+//! nodes. Ranks are packed into nodes in rank order, exactly as the paper
+//! arranges experiments "by setting the size [q, q, d] where q² is a
+//! multiple of 4" so that Tesseract's depth communication stays on the
+//! faster links.
+
+/// Kind of interconnect between two ranks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Link {
+    /// Same physical GPU (self-communication: free).
+    Local,
+    /// Intra-node NVLink.
+    NvLink,
+    /// Inter-node InfiniBand.
+    InfiniBand,
+}
+
+/// Physical arrangement of ranks into nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct Topology {
+    /// GPUs per node (Meluxina: 4).
+    pub gpus_per_node: usize,
+}
+
+impl Topology {
+    pub fn new(gpus_per_node: usize) -> Self {
+        assert!(gpus_per_node > 0);
+        Self { gpus_per_node }
+    }
+
+    /// The paper's testbed: 4 GPUs per node.
+    pub fn meluxina() -> Self {
+        Self::new(4)
+    }
+
+    /// A degenerate topology where every rank shares one giant node; useful
+    /// to isolate algorithmic volume from placement effects in ablations.
+    pub fn single_node() -> Self {
+        Self::new(usize::MAX)
+    }
+
+    /// Node index hosting `rank`.
+    pub fn node_of(&self, rank: usize) -> usize {
+        if self.gpus_per_node == usize::MAX {
+            0
+        } else {
+            rank / self.gpus_per_node
+        }
+    }
+
+    /// Link between two ranks.
+    pub fn link_between(&self, a: usize, b: usize) -> Link {
+        if a == b {
+            Link::Local
+        } else if self.node_of(a) == self.node_of(b) {
+            Link::NvLink
+        } else {
+            Link::InfiniBand
+        }
+    }
+
+    /// Worst (slowest) link appearing among any pair in `ranks`; collective
+    /// cost is dominated by the slowest link the group spans.
+    pub fn worst_link(&self, ranks: &[usize]) -> Link {
+        if ranks.len() <= 1 {
+            return Link::Local;
+        }
+        let first_node = self.node_of(ranks[0]);
+        if ranks.iter().all(|&r| self.node_of(r) == first_node) {
+            Link::NvLink
+        } else {
+            Link::InfiniBand
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_packing_is_rank_order() {
+        let t = Topology::meluxina();
+        assert_eq!(t.node_of(0), 0);
+        assert_eq!(t.node_of(3), 0);
+        assert_eq!(t.node_of(4), 1);
+        assert_eq!(t.node_of(63), 15);
+    }
+
+    #[test]
+    fn link_classification() {
+        let t = Topology::meluxina();
+        assert_eq!(t.link_between(0, 0), Link::Local);
+        assert_eq!(t.link_between(0, 3), Link::NvLink);
+        assert_eq!(t.link_between(0, 4), Link::InfiniBand);
+    }
+
+    #[test]
+    fn worst_link_of_groups() {
+        let t = Topology::meluxina();
+        assert_eq!(t.worst_link(&[1]), Link::Local);
+        assert_eq!(t.worst_link(&[0, 1, 2, 3]), Link::NvLink);
+        assert_eq!(t.worst_link(&[0, 1, 2, 3, 4]), Link::InfiniBand);
+        assert_eq!(t.worst_link(&[8, 9]), Link::NvLink);
+    }
+
+    #[test]
+    fn single_node_never_uses_ib() {
+        let t = Topology::single_node();
+        assert_eq!(t.worst_link(&[0, 63]), Link::NvLink);
+    }
+}

@@ -1,0 +1,93 @@
+//! Failure-injection tests: the simulated cluster must convert misuse into
+//! diagnosable panics rather than silent corruption or hangs.
+
+use tesseract_comm::Cluster;
+use tesseract_tensor::{DenseTensor, Matrix, TensorLike};
+
+/// Shrinks the rendezvous timeout so ranks that survive an injected
+/// failure give up in seconds instead of minutes.
+fn fail_fast() {
+    std::env::set_var("TESSERACT_RENDEZVOUS_TIMEOUT_SECS", "2");
+}
+
+#[test]
+#[should_panic(expected = "rank 1 panicked")]
+fn rank_panics_are_propagated_with_rank_id() {
+    fail_fast();
+    Cluster::a100(2).run(|ctx| {
+        if ctx.rank == 1 {
+            panic!("deliberate failure");
+        }
+        // Rank 0 does local work only, so it finishes without deadlocking.
+        let t = DenseTensor::from_matrix(Matrix::full(2, 2, 1.0));
+        let _ = t.matmul(&t, &mut ctx.meter);
+    });
+}
+
+#[test]
+#[should_panic(expected = "not a member")]
+fn joining_a_group_you_are_not_in_panics() {
+    fail_fast();
+    Cluster::a100(2).run(|ctx| {
+        // Both ranks construct a group containing only rank 0.
+        let _ = ctx.group("bad", vec![0]);
+    });
+}
+
+#[test]
+#[should_panic(expected = "exactly the root must supply the payload")]
+fn broadcast_without_root_payload_panics() {
+    fail_fast();
+    Cluster::a100(2).run(|ctx| {
+        let g = ctx.world_group();
+        // Nobody provides the payload.
+        let _: DenseTensor = g.broadcast(ctx, 0, None);
+    });
+}
+
+#[test]
+#[should_panic(expected = "scatter: need one part per member")]
+fn scatter_with_wrong_part_count_panics() {
+    fail_fast();
+    Cluster::a100(2).run(|ctx| {
+        let g = ctx.world_group();
+        let parts = (ctx.rank == 0).then(|| vec![DenseTensor::from_matrix(Matrix::zeros(1, 1))]);
+        // Only one part for two members.
+        let _ = g.scatter(ctx, 0, parts);
+    });
+}
+
+#[test]
+#[should_panic(expected = "send: bad destination")]
+fn send_to_self_panics() {
+    fail_fast();
+    Cluster::a100(2).run(|ctx| {
+        let g = ctx.world_group();
+        g.send(ctx, g.my_index(), 0, DenseTensor::from_matrix(Matrix::zeros(1, 1)));
+    });
+}
+
+#[test]
+#[should_panic(expected = "cluster needs at least one rank")]
+fn zero_rank_cluster_is_rejected() {
+    let _ = Cluster::a100(0).run(|_ctx| ());
+}
+
+#[test]
+fn reduce_payload_shape_mismatch_panics() {
+    fail_fast();
+    // Shape disagreement between ranks inside a reduction is a bug; the
+    // deterministic combiner must catch it.
+    let result = std::panic::catch_unwind(|| {
+        Cluster::a100(2).run(|ctx| {
+            let g = ctx.world_group();
+            let t = if ctx.rank == 0 {
+                DenseTensor::from_matrix(Matrix::zeros(2, 2))
+            } else {
+                DenseTensor::from_matrix(Matrix::zeros(3, 3))
+            };
+            let _ = g.all_reduce(ctx, t);
+        });
+    });
+    assert!(result.is_err(), "mismatched reduce shapes must panic");
+}

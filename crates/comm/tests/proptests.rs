@@ -1,0 +1,104 @@
+//! Property-based tests for the communication substrate: cost-model
+//! invariants and collective semantics on randomized inputs.
+
+use proptest::prelude::*;
+use tesseract_comm::{Cluster, CollectiveOp, CostParams, Link, Topology};
+use tesseract_tensor::{DenseTensor, Matrix};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn collective_time_is_nonnegative_and_monotone_in_bytes(
+        n in 1usize..64,
+        bytes in 0usize..(1 << 24),
+        more in 1usize..(1 << 20),
+    ) {
+        let p = CostParams::a100_cluster();
+        for op in CollectiveOp::ALL {
+            for link in [Link::NvLink, Link::InfiniBand] {
+                let t1 = p.collective_time(op, n, bytes, link);
+                let t2 = p.collective_time(op, n, bytes + more, link);
+                prop_assert!(t1 >= 0.0, "{op:?}");
+                prop_assert!(t2 >= t1, "{op:?} must be monotone in bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn ib_never_beats_nvlink(n in 2usize..64, bytes in 1usize..(1 << 24)) {
+        let p = CostParams::a100_cluster();
+        for op in CollectiveOp::ALL {
+            let nv = p.collective_time(op, n, bytes, Link::NvLink);
+            let ib = p.collective_time(op, n, bytes, Link::InfiniBand);
+            prop_assert!(ib >= nv, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn wire_bytes_scale_linearly(n in 2usize..32, bytes in 1usize..(1 << 16)) {
+        let p = CostParams::a100_cluster();
+        for op in CollectiveOp::ALL {
+            let w1 = p.wire_bytes(op, n, bytes);
+            let w2 = p.wire_bytes(op, n, 2 * bytes);
+            prop_assert_eq!(w2, 2 * w1, "{:?}", op);
+        }
+    }
+
+    #[test]
+    fn node_packing_is_consistent(gpus_per_node in 1usize..16, rank in 0usize..256) {
+        let t = Topology::new(gpus_per_node);
+        let node = t.node_of(rank);
+        prop_assert!(rank >= node * gpus_per_node);
+        prop_assert!(rank < (node + 1) * gpus_per_node);
+    }
+
+    #[test]
+    fn worst_link_is_symmetric_under_rank_order(a in 0usize..64, b in 0usize..64) {
+        let t = Topology::meluxina();
+        prop_assert_eq!(t.link_between(a, b), t.link_between(b, a));
+    }
+}
+
+proptest! {
+    // Each case spawns threads; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn all_reduce_equals_sum_of_deposits(n in 2usize..6, seed in 0u64..1000) {
+        let values: Vec<f32> = (0..n).map(|r| ((seed + r as u64) % 17) as f32 - 8.0).collect();
+        let expected: f32 = values.iter().sum();
+        let vals = values.clone();
+        let out = Cluster::a100(n).run(move |ctx| {
+            let g = ctx.world_group();
+            let t = DenseTensor::from_matrix(Matrix::full(2, 2, vals[ctx.rank]));
+            g.all_reduce(ctx, t).matrix()[(1, 1)]
+        });
+        for v in out.results {
+            prop_assert!((v - expected).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn shift_by_group_size_is_identity(n in 2usize..6, offset_mult in 1usize..3) {
+        let out = Cluster::a100(n).run(move |ctx| {
+            let g = ctx.world_group();
+            let t = DenseTensor::from_matrix(Matrix::full(1, 1, ctx.rank as f32));
+            // Shifting by a multiple of the group size returns own payload.
+            let got = g.shift(ctx, (n * offset_mult) as isize, t);
+            got.matrix()[(0, 0)] as usize == ctx.rank
+        });
+        prop_assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn all_gather_preserves_order(n in 2usize..6) {
+        let out = Cluster::a100(n).run(move |ctx| {
+            let g = ctx.world_group();
+            let t = DenseTensor::from_matrix(Matrix::full(1, 1, ctx.rank as f32 * 3.0));
+            let all = g.all_gather(ctx, t);
+            all.iter().enumerate().all(|(i, v)| v.matrix()[(0, 0)] == i as f32 * 3.0)
+        });
+        prop_assert!(out.results.iter().all(|&ok| ok));
+    }
+}

@@ -1,0 +1,94 @@
+//! Transformer configuration shared by the distributed schemes and the
+//! serial reference, matching the notation of paper §3 (batch `b`, sequence
+//! `s`, hidden `h`, heads `n`, layers `N`).
+
+/// Hyperparameters of one Transformer stack.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransformerConfig {
+    /// Global batch size `b`.
+    pub batch: usize,
+    /// Sequence length `s`.
+    pub seq: usize,
+    /// Hidden size `h`.
+    pub hidden: usize,
+    /// Number of attention heads `n`; must divide `hidden`.
+    pub heads: usize,
+    /// MLP expansion factor (paper: 4, i.e. `[h, 4h]` and `[4h, h]`).
+    pub mlp_ratio: usize,
+    /// Number of Transformer layers `N`.
+    pub layers: usize,
+    /// Layer-norm epsilon.
+    pub eps: f32,
+}
+
+impl TransformerConfig {
+    /// A small configuration for tests: everything divisible by 4.
+    pub fn tiny() -> Self {
+        Self { batch: 4, seq: 4, hidden: 16, heads: 4, mlp_ratio: 4, layers: 1, eps: 1e-5 }
+    }
+
+    /// Head dimension `h / n`.
+    pub fn head_dim(&self) -> usize {
+        assert_eq!(self.hidden % self.heads, 0, "heads must divide hidden");
+        self.hidden / self.heads
+    }
+
+    /// Total rows of the flattened `[b·s, h]` activation matrix.
+    pub fn rows(&self) -> usize {
+        self.batch * self.seq
+    }
+
+    /// MLP intermediate width `4h`.
+    pub fn mlp_hidden(&self) -> usize {
+        self.hidden * self.mlp_ratio
+    }
+
+    /// Validates divisibility for a `[q, q, d]` arrangement: `q·d | b`
+    /// (whole samples per rank), `q | n` (whole heads per rank) and
+    /// `q | h/n`-free constraints via `q | h` and `q | 4h`.
+    pub fn validate_for_grid(&self, q: usize, d: usize) {
+        assert_eq!(self.batch % (q * d), 0, "batch {} not divisible by q*d = {}", self.batch, q * d);
+        assert_eq!(self.heads % q, 0, "heads {} not divisible by q = {q}", self.heads);
+        assert_eq!(self.hidden % q, 0, "hidden {} not divisible by q = {q}", self.hidden);
+        assert_eq!(
+            self.mlp_hidden() % q,
+            0,
+            "mlp hidden {} not divisible by q = {q}",
+            self.mlp_hidden()
+        );
+    }
+
+    /// Approximate parameter count of the stack (weights only).
+    pub fn param_count(&self) -> usize {
+        let attn = 3 * self.hidden * self.hidden + self.hidden * self.hidden;
+        let mlp = 2 * self.hidden * self.mlp_hidden();
+        self.layers * (attn + mlp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_is_consistent() {
+        let c = TransformerConfig::tiny();
+        assert_eq!(c.head_dim(), 4);
+        assert_eq!(c.rows(), 16);
+        assert_eq!(c.mlp_hidden(), 64);
+        c.validate_for_grid(2, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn validation_catches_bad_batch() {
+        let c = TransformerConfig { batch: 3, ..TransformerConfig::tiny() };
+        c.validate_for_grid(2, 2);
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let c = TransformerConfig::tiny();
+        assert_eq!(c.param_count(), 4 * 16 * 16 + 2 * 16 * 64);
+    }
+}

@@ -1,0 +1,208 @@
+//! The `[q, q, d]` processor grid (paper §3.1, Figure 3).
+//!
+//! `p = q²·d` ranks are arranged as `d` layers of `q×q` meshes. Rank layout
+//! is **layer-major** (`rank = base + k·q² + i·q + j`): each depth layer
+//! occupies consecutive ranks, so with the paper's "q² is a multiple of 4"
+//! arrangement a whole layer packs into nodes and row/column collectives
+//! stay on NVLink wherever possible, while the rarer depth communication
+//! crosses nodes — exactly the placement rationale of §4.
+
+use tesseract_comm::{CommGroup, RankCtx};
+
+/// Shape parameters of a Tesseract arrangement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridShape {
+    /// Tesseract dimension `q` (mesh side).
+    pub q: usize,
+    /// Tesseract depth `d`, with `1 ≤ d` (the paper studies `1 ≤ d ≤ q`).
+    pub d: usize,
+}
+
+impl GridShape {
+    pub fn new(q: usize, d: usize) -> Self {
+        assert!(q >= 1 && d >= 1, "grid shape must be positive");
+        Self { q, d }
+    }
+
+    /// Total processor count `p = q²·d`.
+    pub fn size(&self) -> usize {
+        self.q * self.q * self.d
+    }
+
+    /// `d = 1` makes Tesseract the 2-D SUMMA algorithm (Optimus).
+    pub fn is_2d(&self) -> bool {
+        self.d == 1
+    }
+
+    /// `d = q` makes Tesseract a 3-D algorithm.
+    pub fn is_3d(&self) -> bool {
+        self.d == self.q
+    }
+
+    /// Grid coordinates `(i, j, k)` of a rank offset within the grid.
+    pub fn coords_of(&self, offset: usize) -> (usize, usize, usize) {
+        assert!(offset < self.size(), "offset {offset} out of grid {self:?}");
+        let layer = self.q * self.q;
+        let k = offset / layer;
+        let r = offset % layer;
+        (r / self.q, r % self.q, k)
+    }
+
+    /// Rank offset of grid coordinates `(i, j, k)`.
+    pub fn offset_of(&self, i: usize, j: usize, k: usize) -> usize {
+        assert!(i < self.q && j < self.q && k < self.d, "({i},{j},{k}) out of grid {self:?}");
+        k * self.q * self.q + i * self.q + j
+    }
+
+    /// The A/C-matrix row-block index `h = i + k·q` owned by `(i, ·, k)`
+    /// (Algorithm 3 / Figure 4a: inputs are split into `q·d` row blocks).
+    pub fn a_row_block(&self, i: usize, k: usize) -> usize {
+        i + k * self.q
+    }
+}
+
+/// One rank's handle onto a Tesseract grid: its coordinates plus the three
+/// communication fibers the algorithm uses.
+pub struct TesseractGrid {
+    pub shape: GridShape,
+    /// First global rank of this grid (grids can be embedded in a larger
+    /// hybrid-parallel world).
+    pub base: usize,
+    /// This rank's `(i, j, k)` coordinates.
+    pub coords: (usize, usize, usize),
+    /// Peers sharing `(i, k)`, ordered by `j` — SUMMA row broadcasts.
+    pub row: CommGroup,
+    /// Peers sharing `(j, k)`, ordered by `i` — SUMMA column broadcasts.
+    pub col: CommGroup,
+    /// Peers sharing `(i, j)`, ordered by `k` — weight-gradient all-reduce.
+    pub depth: CommGroup,
+}
+
+impl TesseractGrid {
+    /// Builds this rank's grid handle. Must be called by all `shape.size()`
+    /// ranks `base..base+p` (SPMD).
+    pub fn new(ctx: &RankCtx, shape: GridShape, base: usize) -> Self {
+        let p = shape.size();
+        assert!(
+            ctx.rank >= base && ctx.rank < base + p,
+            "rank {} outside grid [{base}, {})",
+            ctx.rank,
+            base + p
+        );
+        let (i, j, k) = shape.coords_of(ctx.rank - base);
+        let row_ranks: Vec<usize> = (0..shape.q).map(|jj| base + shape.offset_of(i, jj, k)).collect();
+        let col_ranks: Vec<usize> = (0..shape.q).map(|ii| base + shape.offset_of(ii, j, k)).collect();
+        let depth_ranks: Vec<usize> =
+            (0..shape.d).map(|kk| base + shape.offset_of(i, j, kk)).collect();
+        Self {
+            shape,
+            base,
+            coords: (i, j, k),
+            row: ctx.group("tess.row", row_ranks),
+            col: ctx.group("tess.col", col_ranks),
+            depth: ctx.group("tess.depth", depth_ranks),
+        }
+    }
+
+    pub fn i(&self) -> usize {
+        self.coords.0
+    }
+
+    pub fn j(&self) -> usize {
+        self.coords.1
+    }
+
+    pub fn k(&self) -> usize {
+        self.coords.2
+    }
+
+    /// Row-block index of the A/C partitions this rank owns.
+    pub fn a_row_block(&self) -> usize {
+        self.shape.a_row_block(self.i(), self.k())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesseract_comm::Cluster;
+
+    #[test]
+    fn coords_round_trip() {
+        let s = GridShape::new(4, 2);
+        for off in 0..s.size() {
+            let (i, j, k) = s.coords_of(off);
+            assert_eq!(s.offset_of(i, j, k), off);
+        }
+    }
+
+    #[test]
+    fn size_and_special_cases() {
+        assert_eq!(GridShape::new(4, 2).size(), 32);
+        assert!(GridShape::new(8, 1).is_2d());
+        assert!(GridShape::new(4, 4).is_3d());
+        assert!(!GridShape::new(4, 2).is_2d());
+        assert!(!GridShape::new(4, 2).is_3d());
+    }
+
+    #[test]
+    fn layer_major_layout_packs_layers() {
+        let s = GridShape::new(2, 2);
+        // Layer 0 = offsets 0..4, layer 1 = offsets 4..8.
+        assert_eq!(s.coords_of(0), (0, 0, 0));
+        assert_eq!(s.coords_of(3), (1, 1, 0));
+        assert_eq!(s.coords_of(4), (0, 0, 1));
+        assert_eq!(s.coords_of(7), (1, 1, 1));
+    }
+
+    #[test]
+    fn a_row_blocks_cover_qd_rows() {
+        let s = GridShape::new(2, 3);
+        let mut seen = vec![false; s.q * s.d];
+        for k in 0..s.d {
+            for i in 0..s.q {
+                seen[s.a_row_block(i, k)] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn grid_groups_have_correct_membership() {
+        let shape = GridShape::new(2, 2);
+        let out = Cluster::a100(shape.size()).run(|ctx| {
+            let g = TesseractGrid::new(ctx, shape, 0);
+            (
+                g.coords,
+                g.row.ranks().to_vec(),
+                g.col.ranks().to_vec(),
+                g.depth.ranks().to_vec(),
+            )
+        });
+        // Rank 0 = (0,0,0): row {0,1}, col {0,2}, depth {0,4}.
+        let (c0, r0, col0, d0) = &out.results[0];
+        assert_eq!(*c0, (0, 0, 0));
+        assert_eq!(r0, &vec![0, 1]);
+        assert_eq!(col0, &vec![0, 2]);
+        assert_eq!(d0, &vec![0, 4]);
+        // Rank 7 = (1,1,1): row {6,7}, col {5,7}, depth {3,7}.
+        let (c7, r7, col7, d7) = &out.results[7];
+        assert_eq!(*c7, (1, 1, 1));
+        assert_eq!(r7, &vec![6, 7]);
+        assert_eq!(col7, &vec![5, 7]);
+        assert_eq!(d7, &vec![3, 7]);
+    }
+
+    #[test]
+    fn grid_with_base_offset() {
+        let shape = GridShape::new(2, 1);
+        let out = Cluster::a100(8).run(|ctx| {
+            // Two independent grids: ranks 0..4 and 4..8.
+            let base = if ctx.rank < 4 { 0 } else { 4 };
+            let g = TesseractGrid::new(ctx, shape, base);
+            (g.base, g.row.ranks().to_vec())
+        });
+        assert_eq!(out.results[5].0, 4);
+        assert_eq!(out.results[5].1, vec![4, 5]);
+    }
+}

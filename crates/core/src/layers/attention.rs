@@ -1,0 +1,173 @@
+//! Tesseract-parallel multi-head self-attention (paper §3.2.1, Figure 5b).
+//!
+//! The fused QKV projection `[h, 3h]` and the output projection `[h, h]`
+//! run as Tesseract matmuls. Between them, attention itself is **fully
+//! local**: rank `(i, j, k)` holds `b/(d·q)` whole samples (rows) and
+//! `n/q` whole heads (columns), so `softmax(QKᵀ/√d̄)V` for its
+//! (sample, head) pairs needs no communication — the property §3.2.1
+//! emphasizes ("with no communication with other position's tokens, the
+//! attention part is also parallelizable").
+
+use tesseract_comm::{Payload, RankCtx};
+use tesseract_tensor::TensorLike;
+
+use crate::config::TransformerConfig;
+use crate::grid::TesseractGrid;
+use crate::layers::linear::{ParamRef, TesseractLinear};
+
+struct HeadCache<T> {
+    q: T,
+    k: T,
+    v: T,
+    attn: T,
+}
+
+/// Multi-head self-attention on the `[q, q, d]` grid.
+pub struct TesseractAttention<T> {
+    pub wqkv: TesseractLinear<T>,
+    pub wo: TesseractLinear<T>,
+    cfg: TransformerConfig,
+    /// LIFO of per-microbatch head caches (see linear.rs on pipelining).
+    cache: Vec<Vec<HeadCache<T>>>,
+}
+
+impl<T: TensorLike + Payload> TesseractAttention<T> {
+    /// Builds the layer; consumes param ids `param_id .. param_id + 4`
+    /// (Wq, Wk, Wv, Wo).
+    pub fn new(
+        ctx: &RankCtx,
+        grid: &TesseractGrid,
+        cfg: TransformerConfig,
+        with_bias: bool,
+        seed: u64,
+        param_id: u64,
+    ) -> Self {
+        let h = cfg.hidden;
+        // Three independent [h, h] projections fused column-wise so each
+        // rank's slice holds Q/K/V for exactly its own heads.
+        let wqkv = TesseractLinear::new_fused(
+            ctx,
+            grid,
+            h,
+            &[(h, param_id), (h, param_id + 1), (h, param_id + 2)],
+            with_bias,
+            seed,
+        );
+        let wo = TesseractLinear::new(ctx, grid, h, h, with_bias, seed, param_id + 3);
+        Self { wqkv, wo, cfg, cache: Vec::new() }
+    }
+
+    /// Rows per rank = local samples × sequence length.
+    fn local_samples(&self, grid: &TesseractGrid) -> usize {
+        let per = self.cfg.batch / (grid.shape.q * grid.shape.d);
+        assert!(per >= 1, "batch too small for grid");
+        per
+    }
+
+    /// Heads per rank.
+    fn local_heads(&self, grid: &TesseractGrid) -> usize {
+        self.cfg.heads / grid.shape.q
+    }
+
+    /// Forward over the local activation block `[b/(dq)·s, h/q]`.
+    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+        let s = self.cfg.seq;
+        let hd = self.cfg.head_dim();
+        let samples = self.local_samples(grid);
+        let heads = self.local_heads(grid);
+        let local_h = x.cols();
+        assert_eq!(local_h * grid.shape.q, self.cfg.hidden, "attention input width mismatch");
+        assert_eq!(x.rows(), samples * s, "attention input rows mismatch");
+
+        let qkv = self.wqkv.forward(grid, ctx, x);
+        let q_all = qkv.slice_cols(0, local_h, &mut ctx.meter);
+        let k_all = qkv.slice_cols(local_h, 2 * local_h, &mut ctx.meter);
+        let v_all = qkv.slice_cols(2 * local_h, 3 * local_h, &mut ctx.meter);
+
+        let mut caches = Vec::with_capacity(samples * heads);
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut sample_outs = Vec::with_capacity(samples);
+        for si in 0..samples {
+            let (r0, r1) = (si * s, (si + 1) * s);
+            let qs = q_all.slice_rows(r0, r1, &mut ctx.meter);
+            let ks = k_all.slice_rows(r0, r1, &mut ctx.meter);
+            let vs = v_all.slice_rows(r0, r1, &mut ctx.meter);
+            let mut head_outs = Vec::with_capacity(heads);
+            for hi in 0..heads {
+                let (c0, c1) = (hi * hd, (hi + 1) * hd);
+                let qh = qs.slice_cols(c0, c1, &mut ctx.meter);
+                let kh = ks.slice_cols(c0, c1, &mut ctx.meter);
+                let vh = vs.slice_cols(c0, c1, &mut ctx.meter);
+                let scores = qh.matmul_nt(&kh, &mut ctx.meter).scale(scale, &mut ctx.meter);
+                let attn = scores.softmax_rows(&mut ctx.meter);
+                let out = attn.matmul(&vh, &mut ctx.meter);
+                caches.push(HeadCache { q: qh, k: kh, v: vh, attn });
+                head_outs.push(out);
+            }
+            sample_outs.push(T::concat_cols(&head_outs, &mut ctx.meter));
+        }
+        self.cache.push(caches);
+        let merged = T::concat_rows(&sample_outs, &mut ctx.meter);
+        self.wo.forward(grid, ctx, &merged)
+    }
+
+    /// Backward; returns `dX` and accumulates projection gradients.
+    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+        let s = self.cfg.seq;
+        let hd = self.cfg.head_dim();
+        let samples = self.local_samples(grid);
+        let heads = self.local_heads(grid);
+        let scale = 1.0 / (hd as f32).sqrt();
+
+        let d_merged = self.wo.backward(grid, ctx, dy);
+        let caches = self.cache.pop().expect("backward without forward");
+        assert_eq!(caches.len(), samples * heads, "cache/shape mismatch in backward");
+
+        let mut dq_rows = Vec::with_capacity(samples);
+        let mut dk_rows = Vec::with_capacity(samples);
+        let mut dv_rows = Vec::with_capacity(samples);
+        for si in 0..samples {
+            let (r0, r1) = (si * s, (si + 1) * s);
+            let d_sample = d_merged.slice_rows(r0, r1, &mut ctx.meter);
+            let mut dq_heads = Vec::with_capacity(heads);
+            let mut dk_heads = Vec::with_capacity(heads);
+            let mut dv_heads = Vec::with_capacity(heads);
+            for hi in 0..heads {
+                let cache = &caches[si * heads + hi];
+                let (c0, c1) = (hi * hd, (hi + 1) * hd);
+                let d_out = d_sample.slice_cols(c0, c1, &mut ctx.meter);
+                // out = attn · V
+                let d_attn = d_out.matmul_nt(&cache.v, &mut ctx.meter);
+                let dv = cache.attn.matmul_tn(&d_out, &mut ctx.meter);
+                // attn = softmax(scores), scores = scale · Q Kᵀ
+                let d_scores = cache
+                    .attn
+                    .softmax_rows_backward(&d_attn, &mut ctx.meter)
+                    .scale(scale, &mut ctx.meter);
+                let dq = d_scores.matmul(&cache.k, &mut ctx.meter);
+                let dk = d_scores.matmul_tn(&cache.q, &mut ctx.meter);
+                dq_heads.push(dq);
+                dk_heads.push(dk);
+                dv_heads.push(dv);
+            }
+            dq_rows.push(T::concat_cols(&dq_heads, &mut ctx.meter));
+            dk_rows.push(T::concat_cols(&dk_heads, &mut ctx.meter));
+            dv_rows.push(T::concat_cols(&dv_heads, &mut ctx.meter));
+        }
+        let dq_all = T::concat_rows(&dq_rows, &mut ctx.meter);
+        let dk_all = T::concat_rows(&dk_rows, &mut ctx.meter);
+        let dv_all = T::concat_rows(&dv_rows, &mut ctx.meter);
+        let d_qkv = T::concat_cols(&[dq_all, dk_all, dv_all], &mut ctx.meter);
+        self.wqkv.backward(grid, ctx, &d_qkv)
+    }
+
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        self.wqkv.visit_params(f);
+        self.wo.visit_params(f);
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.wqkv.zero_grad();
+        self.wo.zero_grad();
+    }
+}

@@ -1,0 +1,68 @@
+//! Distributed layer normalization (paper §3.2.2, Eq. 13/14).
+//!
+//! The hidden dimension is split across the `q` columns of the grid, so the
+//! per-row statistics `ΣX` and `ΣX²` are computed locally and **all-reduced
+//! along the row** (one fused `[rows, 2]` all-reduce). The backward pass
+//! all-reduces `Σ X̂ᵢ(δJ/δX̂)ᵢ` and `Σ(δJ/δX̂)ᵢ` the same way and applies
+//! Eq. 14 with the cached `X̂` and `1/sqrt(Var+ε)`.
+
+use tesseract_comm::{Payload, RankCtx};
+use tesseract_tensor::TensorLike;
+
+use crate::grid::TesseractGrid;
+
+/// Parameter-free distributed layer norm over the (globally split) hidden
+/// dimension.
+pub struct TesseractLayerNorm<T> {
+    /// Global hidden size `h` (local tensors have `h/q` columns).
+    pub hidden_global: usize,
+    pub eps: f32,
+    cache: Vec<(T, T)>, // LIFO of (x̂ local block, inv_std column vector)
+}
+
+impl<T: TensorLike + Payload> TesseractLayerNorm<T> {
+    pub fn new(hidden_global: usize, eps: f32) -> Self {
+        Self { hidden_global, eps, cache: Vec::new() }
+    }
+
+    /// Forward: `X̂ = (X − E[X]) / sqrt(Var[X] + ε)` with row-group
+    /// all-reduced statistics.
+    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+        let n = self.hidden_global as f32;
+        assert_eq!(
+            x.cols() * grid.shape.q,
+            self.hidden_global,
+            "layernorm: local width times q must equal global hidden"
+        );
+        let s1 = x.row_sums(&mut ctx.meter);
+        let s2 = x.row_sums_of_squares(&mut ctx.meter);
+        let packed = T::concat_cols(&[s1, s2], &mut ctx.meter);
+        let packed = grid.row.all_reduce(ctx, packed);
+        let s1 = packed.slice_cols(0, 1, &mut ctx.meter);
+        let s2 = packed.slice_cols(1, 2, &mut ctx.meter);
+        let mean = s1.scale(1.0 / n, &mut ctx.meter);
+        let mean_sq = mean.hadamard(&mean, &mut ctx.meter);
+        let var = s2.scale(1.0 / n, &mut ctx.meter).sub(&mean_sq, &mut ctx.meter);
+        let inv_std = var.rsqrt_add(self.eps, &mut ctx.meter);
+        let xhat = x.sub_colvec(&mean, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter);
+        self.cache.push((xhat.clone(), inv_std));
+        xhat
+    }
+
+    /// Backward (Eq. 14): `dX = (dY − (X̂·Σ(X̂∘dY) + Σ dY)/n) ∘ inv_std`.
+    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+        let (xhat, inv_std) = self.cache.pop().expect("backward without forward");
+        let n = self.hidden_global as f32;
+        let t1 = xhat.hadamard(dy, &mut ctx.meter).row_sums(&mut ctx.meter);
+        let t2 = dy.row_sums(&mut ctx.meter);
+        let packed = T::concat_cols(&[t1, t2], &mut ctx.meter);
+        let packed = grid.row.all_reduce(ctx, packed);
+        let t1 = packed.slice_cols(0, 1, &mut ctx.meter);
+        let t2 = packed.slice_cols(1, 2, &mut ctx.meter);
+        let correction = xhat
+            .mul_colvec(&t1, &mut ctx.meter)
+            .add_colvec(&t2, &mut ctx.meter)
+            .scale(1.0 / n, &mut ctx.meter);
+        dy.sub(&correction, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter)
+    }
+}

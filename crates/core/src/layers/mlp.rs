@@ -1,0 +1,63 @@
+//! Tesseract-parallel feed-forward (MLP) layer (paper §3.2.1, Figure 5a).
+//!
+//! Two linear layers `[h, 4h]` and `[4h, h]` with a GELU in between, all on
+//! the `[q, q, d]` grid. Parameter matrices stay resident in their owning
+//! processors between steps ("store the parameter matrices inside each
+//! processor for the next computation to avoid waste of communication").
+
+use tesseract_comm::{Payload, RankCtx};
+use tesseract_tensor::TensorLike;
+
+use crate::grid::TesseractGrid;
+use crate::layers::linear::{ParamRef, TesseractLinear};
+
+/// Feed-forward block: `fc2(gelu(fc1(x)))`.
+pub struct TesseractMlp<T> {
+    pub fc1: TesseractLinear<T>,
+    pub fc2: TesseractLinear<T>,
+    cached_pre_act: Vec<T>,
+}
+
+impl<T: TensorLike + Payload> TesseractMlp<T> {
+    /// `hidden → mlp_hidden → hidden`, weights at `param_id` and
+    /// `param_id + 1` (biases are zero-initialized).
+    pub fn new(
+        ctx: &RankCtx,
+        grid: &TesseractGrid,
+        hidden: usize,
+        mlp_hidden: usize,
+        with_bias: bool,
+        seed: u64,
+        param_id: u64,
+    ) -> Self {
+        Self {
+            fc1: TesseractLinear::new(ctx, grid, hidden, mlp_hidden, with_bias, seed, param_id),
+            fc2: TesseractLinear::new(ctx, grid, mlp_hidden, hidden, with_bias, seed, param_id + 1),
+            cached_pre_act: Vec::new(),
+        }
+    }
+
+    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+        let pre = self.fc1.forward(grid, ctx, x);
+        let act = pre.gelu(&mut ctx.meter);
+        self.cached_pre_act.push(pre);
+        self.fc2.forward(grid, ctx, &act)
+    }
+
+    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+        let d_act = self.fc2.backward(grid, ctx, dy);
+        let pre = self.cached_pre_act.pop().expect("backward without forward");
+        let d_pre = pre.gelu_backward(&d_act, &mut ctx.meter);
+        self.fc1.backward(grid, ctx, &d_pre)
+    }
+
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.fc1.zero_grad();
+        self.fc2.zero_grad();
+    }
+}

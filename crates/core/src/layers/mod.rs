@@ -1,0 +1,13 @@
+//! Tesseract-parallel Transformer layers (paper §3.2).
+
+pub mod attention;
+pub mod layernorm;
+pub mod linear;
+pub mod mlp;
+pub mod transformer;
+
+pub use attention::TesseractAttention;
+pub use layernorm::TesseractLayerNorm;
+pub use linear::{ParamRef, TesseractLinear};
+pub use mlp::TesseractMlp;
+pub use transformer::{TesseractTransformer, TesseractTransformerLayer, PARAM_IDS_PER_LAYER};

@@ -1,0 +1,146 @@
+//! A full Tesseract-parallel Transformer layer and stack (paper §3.2):
+//! pre-norm residual blocks `x + Attn(LN(x))` and `x + MLP(LN(x))`, the
+//! architecture Megatron-LM adapted ("the whole model consists of multiple
+//! identical Transformer layers"). Residual adds are local (§3.2.2).
+
+use tesseract_comm::{Payload, RankCtx};
+use tesseract_tensor::TensorLike;
+
+use crate::config::TransformerConfig;
+use crate::grid::TesseractGrid;
+use crate::layers::attention::TesseractAttention;
+use crate::layers::layernorm::TesseractLayerNorm;
+use crate::layers::linear::ParamRef;
+use crate::layers::mlp::TesseractMlp;
+
+/// Number of parameter ids one Transformer layer consumes (Wq, Wk, Wv, Wo,
+/// fc1, fc2).
+pub const PARAM_IDS_PER_LAYER: u64 = 6;
+
+/// One Transformer layer on the `[q, q, d]` grid.
+pub struct TesseractTransformerLayer<T> {
+    pub ln1: TesseractLayerNorm<T>,
+    pub attn: TesseractAttention<T>,
+    pub ln2: TesseractLayerNorm<T>,
+    pub mlp: TesseractMlp<T>,
+}
+
+impl<T: TensorLike + Payload> TesseractTransformerLayer<T> {
+    pub fn new(
+        ctx: &RankCtx,
+        grid: &TesseractGrid,
+        cfg: TransformerConfig,
+        with_bias: bool,
+        seed: u64,
+        param_id: u64,
+    ) -> Self {
+        cfg.validate_for_grid(grid.shape.q, grid.shape.d);
+        Self {
+            ln1: TesseractLayerNorm::new(cfg.hidden, cfg.eps),
+            attn: TesseractAttention::new(ctx, grid, cfg, with_bias, seed, param_id),
+            ln2: TesseractLayerNorm::new(cfg.hidden, cfg.eps),
+            mlp: TesseractMlp::new(
+                ctx,
+                grid,
+                cfg.hidden,
+                cfg.mlp_hidden(),
+                with_bias,
+                seed,
+                param_id + 4,
+            ),
+        }
+    }
+
+    /// Forward over the local `[b/(dq)·s, h/q]` activation block.
+    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+        let a = self.ln1.forward(grid, ctx, x);
+        let b = self.attn.forward(grid, ctx, &a);
+        let x1 = x.add(&b, &mut ctx.meter);
+        let c = self.ln2.forward(grid, ctx, &x1);
+        let d = self.mlp.forward(grid, ctx, &c);
+        x1.add(&d, &mut ctx.meter)
+    }
+
+    /// Backward; returns `dX`.
+    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+        // y = x1 + mlp(ln2(x1)), so dy flows both directly and through mlp.
+        let d_mlp_in = self.mlp.backward(grid, ctx, dy);
+        let d_x1_from_ln2 = self.ln2.backward(grid, ctx, &d_mlp_in);
+        let d_x1 = dy.add(&d_x1_from_ln2, &mut ctx.meter);
+        // x1 = x + attn(ln1(x)).
+        let d_attn_in = self.attn.backward(grid, ctx, &d_x1);
+        let d_x_from_ln1 = self.ln1.backward(grid, ctx, &d_attn_in);
+        d_x1.add(&d_x_from_ln1, &mut ctx.meter)
+    }
+
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        self.attn.visit_params(f);
+        self.mlp.visit_params(f);
+    }
+
+    pub fn zero_grad(&mut self) {
+        self.attn.zero_grad();
+        self.mlp.zero_grad();
+    }
+}
+
+/// A stack of `cfg.layers` identical Transformer layers.
+pub struct TesseractTransformer<T> {
+    pub layers: Vec<TesseractTransformerLayer<T>>,
+    pub cfg: TransformerConfig,
+}
+
+impl<T: TensorLike + Payload> TesseractTransformer<T> {
+    /// Builds the stack; layer `l` uses param ids
+    /// `base_param_id + l·PARAM_IDS_PER_LAYER ..`.
+    pub fn new(
+        ctx: &RankCtx,
+        grid: &TesseractGrid,
+        cfg: TransformerConfig,
+        with_bias: bool,
+        seed: u64,
+        base_param_id: u64,
+    ) -> Self {
+        let layers = (0..cfg.layers)
+            .map(|l| {
+                TesseractTransformerLayer::new(
+                    ctx,
+                    grid,
+                    cfg,
+                    with_bias,
+                    seed,
+                    base_param_id + l as u64 * PARAM_IDS_PER_LAYER,
+                )
+            })
+            .collect();
+        Self { layers, cfg }
+    }
+
+    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(grid, ctx, &h);
+        }
+        h
+    }
+
+    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+        let mut g = dy.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(grid, ctx, &g);
+        }
+        g
+    }
+
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grad();
+        }
+    }
+}

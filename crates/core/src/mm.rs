@@ -1,0 +1,313 @@
+//! The Tesseract parallel matrix multiplication (paper §3.1, Algorithm 3)
+//! and its transpose variants, which together implement the forward pass
+//! and the backward rules of Eq. 3 (`A' = C'·Bᵀ`, `B' = Aᵀ·C'` with the
+//! depth all-reduce of `B'`).
+//!
+//! All three functions are SPMD: every rank of the grid calls them with its
+//! local blocks and receives its local block of the result. With `d = 1`
+//! they are exactly 2-D SUMMA (Optimus); with `d = q` they are a 3-D
+//! algorithm; in between they are the paper's 2.5-D scheme in which the `d`
+//! layers run `q×q` SUMMA multiplications concurrently over disjoint row
+//! bands of `A`/`C`, sharing only the replicated `B`.
+
+use tesseract_comm::{Payload, RankCtx};
+use tesseract_tensor::TensorLike;
+
+use crate::grid::TesseractGrid;
+
+/// `C = A·B` (Algorithm 3).
+///
+/// * `a_local`: this rank's A-type block `[a/(q·d), b/q]`.
+/// * `b_local`: this rank's B-type block `[b/q, c/q]`.
+/// * returns this rank's C-type block `[a/(q·d), c/q]`.
+///
+/// Per step `t`: `A_{i,t,k}` is broadcast along the row, `B_{t,j,k}` along
+/// the column, and every rank accumulates `C += A_t · B_t`. No inter-layer
+/// communication happens in the forward pass.
+pub fn tesseract_matmul<T>(grid: &TesseractGrid, ctx: &mut RankCtx, a_local: &T, b_local: &T) -> T
+where
+    T: TensorLike + Payload,
+{
+    let q = grid.shape.q;
+    assert_eq!(a_local.cols(), b_local.rows(), "tesseract_matmul: inner block dims disagree");
+    let mut c: Option<T> = None;
+    for t in 0..q {
+        let a_t = grid.row.broadcast(ctx, t, (grid.j() == t).then(|| a_local.clone()));
+        let b_t = grid.col.broadcast(ctx, t, (grid.i() == t).then(|| b_local.clone()));
+        let partial = a_t.matmul(&b_t, &mut ctx.meter);
+        match c.as_mut() {
+            None => c = Some(partial),
+            Some(acc) => acc.add_assign(&partial, &mut ctx.meter),
+        }
+    }
+    c.expect("q >= 1")
+}
+
+/// `C = A·Bᵀ` — the activation-gradient rule `A' = C'·Bᵀ` of Eq. 3.
+///
+/// * `a_local`: A-type block of `[a, c]` (e.g. the output gradient `C'`).
+/// * `b_local`: B-type block of the `[b, c]` weight.
+/// * returns the A-type block of `C = A·Bᵀ` with global shape `[a, b]`.
+///
+/// Per step `t`: `B_{t,j,k}` is broadcast along the column; every rank
+/// computes `A · B_tᵀ` and the row reduces the partials to member `t`,
+/// which owns column block `t` of the result.
+pub fn tesseract_matmul_nt<T>(
+    grid: &TesseractGrid,
+    ctx: &mut RankCtx,
+    a_local: &T,
+    b_local: &T,
+) -> T
+where
+    T: TensorLike + Payload,
+{
+    let q = grid.shape.q;
+    assert_eq!(a_local.cols(), b_local.cols(), "tesseract_matmul_nt: inner block dims disagree");
+    let mut mine: Option<T> = None;
+    for t in 0..q {
+        let b_t = grid.col.broadcast(ctx, t, (grid.i() == t).then(|| b_local.clone()));
+        let partial = a_local.matmul_nt(&b_t, &mut ctx.meter);
+        let reduced = grid.row.reduce(ctx, t, partial);
+        if grid.j() == t {
+            mine = Some(reduced.expect("root receives reduction"));
+        }
+    }
+    mine.expect("every rank is root for exactly one t")
+}
+
+/// `C = Aᵀ·B` — the weight-gradient rule `B' = Aᵀ·C'` of Eq. 3.
+///
+/// * `a_local`: A-type block of `[a, b]` (e.g. the cached input `A`).
+/// * `b_local`: A-type block of `[a, c]` (e.g. the output gradient `C'`).
+/// * returns the B-type block of `C = Aᵀ·B` with global shape `[b, c]`.
+///
+/// Per step `t`: `A_{i,t,k}` is broadcast along the row; every rank
+/// computes `A_tᵀ · B` and the column reduces the partials to member `t`.
+/// Because each depth layer only sums its own row band `h = i + k·q`, the
+/// partial weight gradients are finally **all-reduced across depth**
+/// (`depth_reduce = true`), exactly as §3.1 prescribes for `B'`. Pass
+/// `false` to inspect the per-layer partials (used by tests and ablations).
+pub fn tesseract_matmul_tn<T>(
+    grid: &TesseractGrid,
+    ctx: &mut RankCtx,
+    a_local: &T,
+    b_local: &T,
+    depth_reduce: bool,
+) -> T
+where
+    T: TensorLike + Payload,
+{
+    let q = grid.shape.q;
+    assert_eq!(a_local.rows(), b_local.rows(), "tesseract_matmul_tn: inner block dims disagree");
+    let mut mine: Option<T> = None;
+    for t in 0..q {
+        let a_t = grid.row.broadcast(ctx, t, (grid.j() == t).then(|| a_local.clone()));
+        let partial = a_t.matmul_tn(b_local, &mut ctx.meter);
+        let reduced = grid.col.reduce(ctx, t, partial);
+        if grid.i() == t {
+            mine = Some(reduced.expect("root receives reduction"));
+        }
+    }
+    let mut c = mine.expect("every rank is root for exactly one t");
+    if depth_reduce && grid.shape.d > 1 {
+        c = grid.depth.all_reduce(ctx, c);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridShape;
+    use crate::partition::{a_block, b_block, combine_b, combine_c, split_a, split_b};
+    use tesseract_comm::Cluster;
+    use tesseract_tensor::{
+        assert_slices_close, matmul, DenseTensor, Matrix, ShadowTensor, Xoshiro256StarStar,
+    };
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        Matrix::random_uniform(rows, cols, -1.0, 1.0, &mut rng)
+    }
+
+    fn run_matmul(shape: GridShape, a: &Matrix, b: &Matrix) -> Matrix {
+        let out = Cluster::a100(shape.size()).run(|ctx| {
+            let grid = TesseractGrid::new(ctx, shape, 0);
+            let (i, j, k) = grid.coords;
+            let a_loc = DenseTensor::from_matrix(a_block(a, shape, i, j, k));
+            let b_loc = DenseTensor::from_matrix(b_block(b, shape, i, j));
+            tesseract_matmul(&grid, ctx, &a_loc, &b_loc).into_matrix()
+        });
+        combine_c(&out.results, shape)
+    }
+
+    #[test]
+    fn matmul_matches_serial_on_2x2x1() {
+        let shape = GridShape::new(2, 1);
+        let a = random(8, 6, 1);
+        let b = random(6, 4, 2);
+        let got = run_matmul(shape, &a, &b);
+        assert_slices_close(got.data(), matmul::matmul(&a, &b).data(), 1e-4);
+    }
+
+    #[test]
+    fn matmul_matches_serial_on_2x2x2() {
+        let shape = GridShape::new(2, 2);
+        let a = random(8, 6, 3);
+        let b = random(6, 4, 4);
+        let got = run_matmul(shape, &a, &b);
+        assert_slices_close(got.data(), matmul::matmul(&a, &b).data(), 1e-4);
+    }
+
+    #[test]
+    fn matmul_matches_serial_on_3x3x2() {
+        let shape = GridShape::new(3, 2);
+        let a = random(12, 9, 5);
+        let b = random(9, 6, 6);
+        let got = run_matmul(shape, &a, &b);
+        assert_slices_close(got.data(), matmul::matmul(&a, &b).data(), 1e-4);
+    }
+
+    #[test]
+    fn matmul_matches_serial_on_2x2x4_cube_exceeding_depth() {
+        // d > q is unusual but nothing in the algorithm forbids it.
+        let shape = GridShape::new(2, 4);
+        let a = random(16, 4, 7);
+        let b = random(4, 4, 8);
+        let got = run_matmul(shape, &a, &b);
+        assert_slices_close(got.data(), matmul::matmul(&a, &b).data(), 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_matches_serial() {
+        for (q, d, seed) in [(2usize, 1usize, 10u64), (2, 2, 11), (3, 2, 12)] {
+            let shape = GridShape::new(q, d);
+            // Global: A [a, c], B [b, c] → C = A·Bᵀ is [a, b].
+            let (a_rows, b_rows, c_cols) = (4 * q * d, 2 * q, 3 * q);
+            let a = random(a_rows, c_cols, seed);
+            let b = random(b_rows, c_cols, seed + 100);
+            let out = Cluster::a100(shape.size()).run(|ctx| {
+                let grid = TesseractGrid::new(ctx, shape, 0);
+                let (i, j, k) = grid.coords;
+                let a_loc = DenseTensor::from_matrix(a_block(&a, shape, i, j, k));
+                let b_loc = DenseTensor::from_matrix(b_block(&b, shape, i, j));
+                tesseract_matmul_nt(&grid, ctx, &a_loc, &b_loc).into_matrix()
+            });
+            let got = combine_c(&out.results, shape);
+            let expected = matmul::matmul_nt(&a, &b);
+            assert_slices_close(got.data(), expected.data(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_serial_with_depth_reduce() {
+        for (q, d, seed) in [(2usize, 1usize, 20u64), (2, 2, 21), (3, 2, 22)] {
+            let shape = GridShape::new(q, d);
+            // Global: A [a, b], B [a, c] → C = Aᵀ·B is [b, c] (B-type).
+            let (a_rows, b_cols, c_cols) = (4 * q * d, 2 * q, 3 * q);
+            let a = random(a_rows, b_cols, seed);
+            let b = random(a_rows, c_cols, seed + 100);
+            let out = Cluster::a100(shape.size()).run(|ctx| {
+                let grid = TesseractGrid::new(ctx, shape, 0);
+                let (i, j, k) = grid.coords;
+                let a_loc = DenseTensor::from_matrix(a_block(&a, shape, i, j, k));
+                let b_loc = DenseTensor::from_matrix(a_block(&b, shape, i, j, k));
+                tesseract_matmul_tn(&grid, ctx, &a_loc, &b_loc, true).into_matrix()
+            });
+            let got = combine_b(&out.results, shape);
+            let expected = matmul::matmul_tn(&a, &b);
+            assert_slices_close(got.data(), expected.data(), 1e-4);
+
+            // All depth replicas must agree after the all-reduce.
+            for off in 0..shape.size() {
+                let (i, j, _k) = shape.coords_of(off);
+                let replica0 = &out.results[shape.offset_of(i, j, 0)];
+                assert_eq!(&out.results[off], replica0);
+            }
+        }
+    }
+
+    #[test]
+    fn without_depth_reduce_layers_hold_partials() {
+        let shape = GridShape::new(2, 2);
+        let a = random(8, 4, 30);
+        let b = random(8, 6, 31);
+        let out = Cluster::a100(shape.size()).run(|ctx| {
+            let grid = TesseractGrid::new(ctx, shape, 0);
+            let (i, j, k) = grid.coords;
+            let a_loc = DenseTensor::from_matrix(a_block(&a, shape, i, j, k));
+            let b_loc = DenseTensor::from_matrix(a_block(&b, shape, i, j, k));
+            tesseract_matmul_tn(&grid, ctx, &a_loc, &b_loc, false).into_matrix()
+        });
+        // Summing partials across depth by hand must equal the full result.
+        let mut parts = Vec::new();
+        for off in 0..shape.size() {
+            let (i, j, k) = shape.coords_of(off);
+            if k == 0 {
+                let mut sum = out.results[shape.offset_of(i, j, 0)].clone();
+                sum.add_assign(&out.results[shape.offset_of(i, j, 1)]);
+                parts.push(sum);
+            } else {
+                parts.push(Matrix::zeros(1, 1)); // placeholder, unused by combine_b
+            }
+        }
+        // Rebuild using only k = 0 entries.
+        let mut full_parts = vec![Matrix::zeros(4 / 2, 6 / 2); shape.size()];
+        let mut idx = 0;
+        for off in 0..shape.size() {
+            let (_i, _j, k) = shape.coords_of(off);
+            if k == 0 {
+                full_parts[off] = parts[idx].clone();
+                idx += 1;
+            }
+        }
+        let got = combine_b(&full_parts, shape);
+        let expected = matmul::matmul_tn(&a, &b);
+        assert_slices_close(got.data(), expected.data(), 1e-4);
+    }
+
+    #[test]
+    fn shadow_backend_runs_same_code_path() {
+        let shape = GridShape::new(2, 2);
+        let out = Cluster::a100(shape.size()).run(|ctx| {
+            let grid = TesseractGrid::new(ctx, shape, 0);
+            // Global A [16, 8], B [8, 8] at shadow scale.
+            let a_loc = ShadowTensor::new(16 / 4, 8 / 2);
+            let b_loc = ShadowTensor::new(8 / 2, 8 / 2);
+            let c = tesseract_matmul(&grid, ctx, &a_loc, &b_loc);
+            ctx.flush_compute();
+            (c.shape(), ctx.clock())
+        });
+        for (shape_c, clock) in &out.results {
+            assert_eq!(*shape_c, (4, 4));
+            assert!(*clock > 0.0);
+        }
+        // Broadcasts happened: 2 per step × q steps × (rows+cols groups).
+        assert!(out.comm.get(tesseract_comm::CollectiveOp::Broadcast).calls > 0);
+    }
+
+    #[test]
+    fn dense_and_shadow_report_identical_makespan() {
+        let shape = GridShape::new(2, 1);
+        let a = random(8, 8, 40);
+        let b = random(8, 8, 41);
+        let dense = Cluster::a100(shape.size()).run(|ctx| {
+            let grid = TesseractGrid::new(ctx, shape, 0);
+            let (i, j, k) = grid.coords;
+            let a_loc = DenseTensor::from_matrix(a_block(&a, shape, i, j, k));
+            let b_loc = DenseTensor::from_matrix(b_block(&b, shape, i, j));
+            let _ = tesseract_matmul(&grid, ctx, &a_loc, &b_loc);
+        });
+        let shadow = Cluster::a100(shape.size()).run(|ctx| {
+            let grid = TesseractGrid::new(ctx, shape, 0);
+            let a_loc = ShadowTensor::new(4, 4);
+            let b_loc = ShadowTensor::new(4, 4);
+            let _ = tesseract_matmul(&grid, ctx, &a_loc, &b_loc);
+        });
+        assert!((dense.makespan() - shadow.makespan()).abs() < 1e-15);
+        assert_eq!(
+            dense.comm.total_wire_bytes(),
+            shadow.comm.total_wire_bytes()
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Direct unit tests of each distributed layer against the serial kernels
+//! in `tesseract_tensor::nn` (finer-grained than the full-stack parity
+//! tests in `tesseract-baselines`).
+
+use tesseract_comm::Cluster;
+use tesseract_core::layers::{TesseractLayerNorm, TesseractLinear, TesseractMlp};
+use tesseract_core::partition::{a_block, combine_c};
+use tesseract_core::{GridShape, TesseractGrid, TesseractTransformerLayer, TransformerConfig};
+use tesseract_tensor::{
+    assert_slices_close, init::global_xavier, matmul::matmul, nn, DenseTensor, Matrix,
+    TensorLike, Xoshiro256StarStar,
+};
+
+const SEED: u64 = 99;
+
+fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    Matrix::random_uniform(rows, cols, -1.0, 1.0, &mut rng)
+}
+
+#[test]
+fn layernorm_matches_serial_kernel() {
+    let shape = GridShape::new(2, 2);
+    let x = random(8, 8, 1);
+    let dy = random(8, 8, 2);
+    let out = Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let (i, j, k) = grid.coords;
+        let mut ln = TesseractLayerNorm::<DenseTensor>::new(8, 1e-5);
+        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
+        let y = ln.forward(&grid, ctx, &x_loc);
+        let dx = ln.backward(&grid, ctx, &dy_loc);
+        (y.into_matrix(), dx.into_matrix())
+    });
+    let y = combine_c(&out.results.iter().map(|(y, _)| y.clone()).collect::<Vec<_>>(), shape);
+    let dx = combine_c(&out.results.iter().map(|(_, d)| d.clone()).collect::<Vec<_>>(), shape);
+    let cache = nn::layernorm_rows(&x, 1e-5);
+    assert_slices_close(y.data(), cache.y.data(), 1e-4);
+    let dx_ser = nn::layernorm_rows_backward(&cache, &dy);
+    assert_slices_close(dx.data(), dx_ser.data(), 1e-4);
+}
+
+#[test]
+fn linear_forward_matches_global_weight_product() {
+    let shape = GridShape::new(2, 2);
+    let (in_f, out_f) = (8, 12);
+    let x = random(16, in_f, 3);
+    let w_global = global_xavier(in_f, out_f, SEED, 7);
+    let out = Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let (i, j, k) = grid.coords;
+        let mut lin =
+            TesseractLinear::<DenseTensor>::new(ctx, &grid, in_f, out_f, false, SEED, 7);
+        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        lin.forward(&grid, ctx, &x_loc).into_matrix()
+    });
+    let y = combine_c(&out.results, shape);
+    assert_slices_close(y.data(), matmul(&x, &w_global).data(), 1e-4);
+}
+
+#[test]
+fn linear_bias_lives_on_row_zero_and_broadcasts() {
+    let shape = GridShape::new(2, 2);
+    let out = Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let lin = TesseractLinear::<DenseTensor>::new(ctx, &grid, 4, 4, true, SEED, 0);
+        (grid.coords, lin.bias().is_some())
+    });
+    for ((i, _j, _k), has_bias) in &out.results {
+        assert_eq!(*has_bias, *i == 0, "bias must live exactly on row-0 ranks");
+    }
+}
+
+#[test]
+fn linear_bias_gradient_reduces_to_row_zero() {
+    // §3.2.2: "the backward process drives the gradients to be reduced back
+    // to the processor on row 0". With dY = ones, dbias = column sums over
+    // the whole global batch = b·s rows of ones.
+    let shape = GridShape::new(2, 2);
+    let rows_global = 8;
+    let out = Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let (i, j, k) = grid.coords;
+        let mut lin = TesseractLinear::<DenseTensor>::new(ctx, &grid, 4, 4, true, SEED, 0);
+        let x = Matrix::full(rows_global, 4, 1.0);
+        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        let _ = lin.forward(&grid, ctx, &x_loc);
+        let dy_loc = DenseTensor::from_matrix(Matrix::full(x_loc.rows(), 2, 1.0));
+        let _ = lin.backward(&grid, ctx, &dy_loc);
+        lin.bias_grad().map(|g| g.clone().into_matrix())
+    });
+    for off in 0..shape.size() {
+        let (i, _, _) = shape.coords_of(off);
+        match &out.results[off] {
+            Some(g) => {
+                assert_eq!(i, 0);
+                // Every global row contributed 1.0 to each bias column.
+                assert!(g.data().iter().all(|&v| (v - rows_global as f32).abs() < 1e-4));
+            }
+            None => assert_ne!(i, 0),
+        }
+    }
+}
+
+#[test]
+fn mlp_gradient_matches_finite_difference() {
+    let shape = GridShape::new(2, 1);
+    let x = random(4, 4, 5);
+    let dy = random(4, 4, 6);
+    let run = |input: &Matrix| -> Matrix {
+        let out = Cluster::a100(shape.size()).run(|ctx| {
+            let grid = TesseractGrid::new(ctx, shape, 0);
+            let (i, j, k) = grid.coords;
+            let mut mlp = TesseractMlp::<DenseTensor>::new(ctx, &grid, 4, 8, true, SEED, 0);
+            let x_loc = DenseTensor::from_matrix(a_block(input, shape, i, j, k));
+            mlp.forward(&grid, ctx, &x_loc).into_matrix()
+        });
+        combine_c(&out.results, shape)
+    };
+    let out = Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let (i, j, k) = grid.coords;
+        let mut mlp = TesseractMlp::<DenseTensor>::new(ctx, &grid, 4, 8, true, SEED, 0);
+        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        let _ = mlp.forward(&grid, ctx, &x_loc);
+        let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
+        mlp.backward(&grid, ctx, &dy_loc).into_matrix()
+    });
+    let dx = combine_c(&out.results, shape);
+    let h = 1e-2f32;
+    for &(r, c) in &[(0usize, 0usize), (1, 2), (3, 3)] {
+        let mut xp = x.clone();
+        xp[(r, c)] += h;
+        let mut xm = x.clone();
+        xm[(r, c)] -= h;
+        let (yp, ym) = (run(&xp), run(&xm));
+        let mut fd = 0.0f32;
+        for i in 0..4 {
+            for j in 0..4 {
+                fd += dy[(i, j)] * (yp[(i, j)] - ym[(i, j)]) / (2.0 * h);
+            }
+        }
+        assert!(
+            (dx[(r, c)] - fd).abs() < 0.03 * dx[(r, c)].abs().max(1.0),
+            "({r},{c}): {} vs {fd}",
+            dx[(r, c)]
+        );
+    }
+}
+
+#[test]
+fn forward_backward_can_repeat_across_steps() {
+    // Regression for cache handling: two consecutive train-style steps must
+    // work (caches push/pop in LIFO order and never leak).
+    let shape = GridShape::new(2, 1);
+    let cfg = TransformerConfig { batch: 4, seq: 2, hidden: 8, heads: 2, mlp_ratio: 2, layers: 1, eps: 1e-5 };
+    let x = random(cfg.rows(), cfg.hidden, 7);
+    let out = Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let (i, j, k) = grid.coords;
+        let mut layer = TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, SEED, 0);
+        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        let mut outs = Vec::new();
+        for _step in 0..3 {
+            let y = layer.forward(&grid, ctx, &x_loc);
+            let _ = layer.backward(&grid, ctx, &y);
+            layer.zero_grad();
+            outs.push(y.into_matrix());
+        }
+        outs
+    });
+    // Weights unchanged between steps (no optimizer) → identical outputs.
+    for outs in &out.results {
+        assert_eq!(outs[0], outs[1]);
+        assert_eq!(outs[1], outs[2]);
+    }
+}
+
+#[test]
+fn gpipe_style_multi_forward_then_backward_works() {
+    // Two forwards queued before two backwards (reverse order), as the
+    // pipeline scheduler does.
+    let shape = GridShape::new(2, 1);
+    let cfg = TransformerConfig { batch: 4, seq: 2, hidden: 8, heads: 2, mlp_ratio: 2, layers: 1, eps: 1e-5 };
+    let x1 = random(cfg.rows(), cfg.hidden, 8);
+    let x2 = random(cfg.rows(), cfg.hidden, 9);
+    let out = Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let (i, j, k) = grid.coords;
+        let mut layer = TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, SEED, 0);
+        let x1_loc = DenseTensor::from_matrix(a_block(&x1, shape, i, j, k));
+        let x2_loc = DenseTensor::from_matrix(a_block(&x2, shape, i, j, k));
+        let y1 = layer.forward(&grid, ctx, &x1_loc);
+        let y2 = layer.forward(&grid, ctx, &x2_loc);
+        // Backward in reverse microbatch order (LIFO caches).
+        let d2 = layer.backward(&grid, ctx, &y2);
+        let d1 = layer.backward(&grid, ctx, &y1);
+        (d1.into_matrix(), d2.into_matrix())
+    });
+    // Cross-check against single-microbatch runs.
+    let single = |x: &Matrix, seed_tag: u64| -> Matrix {
+        let _ = seed_tag;
+        let out = Cluster::a100(shape.size()).run(|ctx| {
+            let grid = TesseractGrid::new(ctx, shape, 0);
+            let (i, j, k) = grid.coords;
+            let mut layer =
+                TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, SEED, 0);
+            let x_loc = DenseTensor::from_matrix(a_block(x, shape, i, j, k));
+            let y = layer.forward(&grid, ctx, &x_loc);
+            layer.backward(&grid, ctx, &y).into_matrix()
+        });
+        combine_c(&out.results, shape)
+    };
+    let d1 = combine_c(&out.results.iter().map(|(a, _)| a.clone()).collect::<Vec<_>>(), shape);
+    let d2 = combine_c(&out.results.iter().map(|(_, b)| b.clone()).collect::<Vec<_>>(), shape);
+    assert_slices_close(d1.data(), single(&x1, 1).data(), 1e-5);
+    assert_slices_close(d2.data(), single(&x2, 2).data(), 1e-5);
+}

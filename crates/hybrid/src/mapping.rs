@@ -1,0 +1,143 @@
+//! Rank mapping for hybrid parallelism (paper §3.4, Figure 6).
+//!
+//! `total = dp · pp · q²·d` GPUs. Ranks are laid out so that each Tesseract
+//! module ("blocks in the same color" in Figure 6) occupies consecutive
+//! ranks, pipeline stages of one data-parallel replica are adjacent, and
+//! data-parallel replicas are outermost:
+//!
+//! `rank = ((dp_idx · pp + pp_idx) · tesseract_size) + tesseract_offset`
+
+use tesseract_core::GridShape;
+
+/// Shape of a hybrid dp × pp × Tesseract arrangement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HybridShape {
+    /// Data-parallel degree.
+    pub dp: usize,
+    /// Pipeline-parallel degree (number of stages).
+    pub pp: usize,
+    /// Tensor-parallel (Tesseract) grid of each module.
+    pub grid: GridShape,
+}
+
+/// A rank's position in the hybrid arrangement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HybridCoords {
+    pub dp_idx: usize,
+    pub pp_idx: usize,
+    /// Offset within the Tesseract module; decode with
+    /// `GridShape::coords_of`.
+    pub tess_offset: usize,
+}
+
+impl HybridShape {
+    pub fn new(dp: usize, pp: usize, grid: GridShape) -> Self {
+        assert!(dp >= 1 && pp >= 1);
+        Self { dp, pp, grid }
+    }
+
+    /// The paper's Figure 6 example: dp = 2, pp = 2, Tesseract `[2, 2, 2]`
+    /// → 32 GPUs.
+    pub fn figure6() -> Self {
+        Self::new(2, 2, GridShape::new(2, 2))
+    }
+
+    /// Total GPU count `dp · pp · q²·d`.
+    pub fn total(&self) -> usize {
+        self.dp * self.pp * self.grid.size()
+    }
+
+    pub fn coords_of(&self, rank: usize) -> HybridCoords {
+        assert!(rank < self.total(), "rank {rank} out of hybrid world {self:?}");
+        let ts = self.grid.size();
+        let module = rank / ts;
+        HybridCoords {
+            dp_idx: module / self.pp,
+            pp_idx: module % self.pp,
+            tess_offset: rank % ts,
+        }
+    }
+
+    pub fn rank_of(&self, c: HybridCoords) -> usize {
+        ((c.dp_idx * self.pp + c.pp_idx) * self.grid.size()) + c.tess_offset
+    }
+
+    /// First rank of the Tesseract module at `(dp_idx, pp_idx)`.
+    pub fn module_base(&self, dp_idx: usize, pp_idx: usize) -> usize {
+        (dp_idx * self.pp + pp_idx) * self.grid.size()
+    }
+
+    /// Ranks holding the same Tesseract position across data-parallel
+    /// replicas at one pipeline stage — the gradient all-reduce group.
+    pub fn dp_group_ranks(&self, pp_idx: usize, tess_offset: usize) -> Vec<usize> {
+        (0..self.dp)
+            .map(|dp_idx| self.rank_of(HybridCoords { dp_idx, pp_idx, tess_offset }))
+            .collect()
+    }
+
+    /// Renders the Figure-6-style arrangement map.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "hybrid arrangement: dp={} x pp={} x tesseract [q={}, q={}, d={}] = {} GPUs\n",
+            self.dp, self.pp, self.grid.q, self.grid.q, self.grid.d,
+            self.total()
+        ));
+        for dp_idx in 0..self.dp {
+            for pp_idx in 0..self.pp {
+                let base = self.module_base(dp_idx, pp_idx);
+                out.push_str(&format!(
+                    "  replica {dp_idx}, stage {pp_idx}: ranks {base}..{}\n",
+                    base + self.grid.size()
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_has_32_gpus() {
+        // §3.4: "The number of total GPU involved will be 32 equals to data
+        // parallel size times pipeline parallel size times tesseract depth
+        // times square of tesseract dimension."
+        assert_eq!(HybridShape::figure6().total(), 32);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let s = HybridShape::new(2, 3, GridShape::new(2, 1));
+        for rank in 0..s.total() {
+            assert_eq!(s.rank_of(s.coords_of(rank)), rank);
+        }
+    }
+
+    #[test]
+    fn modules_are_contiguous() {
+        let s = HybridShape::figure6();
+        let base = s.module_base(1, 0);
+        for off in 0..8 {
+            let c = s.coords_of(base + off);
+            assert_eq!((c.dp_idx, c.pp_idx, c.tess_offset), (1, 0, off));
+        }
+    }
+
+    #[test]
+    fn dp_groups_stride_over_replicas() {
+        let s = HybridShape::figure6(); // module size 8, pp 2.
+        assert_eq!(s.dp_group_ranks(0, 3), vec![3, 19]);
+        assert_eq!(s.dp_group_ranks(1, 0), vec![8, 24]);
+    }
+
+    #[test]
+    fn describe_mentions_every_module() {
+        let s = HybridShape::figure6();
+        let d = s.describe();
+        assert!(d.contains("32 GPUs"));
+        assert!(d.contains("replica 1, stage 1"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Matrix-multiplication kernels.
+//!
+//! Three orientations are needed by the distributed algorithms (the paper's
+//! §3.1 defines Tesseract variants for `C = A·B`, `C = A·Bᵀ`, `C = Aᵀ·B`;
+//! the latter two implement the backward rules `A' = C'·Bᵀ`, `B' = Aᵀ·C'`).
+//! The inner loops are written in ikj / dot-product order so that LLVM can
+//! vectorize them on contiguous rows.
+
+use crate::matrix::Matrix;
+
+/// `C = A · B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dims {} vs {}", a.cols(), b.rows());
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = b.row(kk);
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_ij += a_ik * b_kj;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` without materializing the transpose.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: inner dims {} vs {}", a.cols(), b.cols());
+    let m = a.rows();
+    let n = b.rows();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for j in 0..n {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            c_row[j] = acc;
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ · B` without materializing the transpose.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn: inner dims {} vs {}", a.rows(), b.rows());
+    let m = a.cols();
+    let n = b.cols();
+    let k = a.rows();
+    let mut c = Matrix::zeros(m, n);
+    for kk in 0..k {
+        let a_row = a.row(kk);
+        let b_row = b.row(kk);
+        for (i, &a_ki) in a_row.iter().enumerate().take(m) {
+            if a_ki == 0.0 {
+                continue;
+            }
+            let c_row = c.row_mut(i);
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_ij += a_ki * b_kj;
+            }
+        }
+    }
+    c
+}
+
+/// Flop count of a `[m,k] x [k,n]` multiply-accumulate product. All three
+/// orientations above perform exactly this much work; the shadow backend
+/// charges the same number so dense and shadow runs agree on metering.
+pub fn matmul_flops(m: usize, k: usize, n: usize) -> f64 {
+    2.0 * m as f64 * k as f64 * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    fn reference(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                c[(i, j)] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let a = Matrix::random_uniform(7, 5, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(5, 9, -1.0, 1.0, &mut rng);
+        crate::assert_slices_close(matmul(&a, &b).data(), reference(&a, &b).data(), 1e-5);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let a = Matrix::random_uniform(4, 4, -1.0, 1.0, &mut rng);
+        assert_eq!(matmul(&a, &Matrix::eye(4)), a);
+        assert_eq!(matmul(&Matrix::eye(4), &a), a);
+    }
+
+    #[test]
+    fn matmul_nt_equals_explicit_transpose() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let a = Matrix::random_uniform(6, 4, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(8, 4, -1.0, 1.0, &mut rng);
+        crate::assert_slices_close(
+            matmul_nt(&a, &b).data(),
+            matmul(&a, &b.transpose()).data(),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn matmul_tn_equals_explicit_transpose() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let a = Matrix::random_uniform(4, 6, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(4, 8, -1.0, 1.0, &mut rng);
+        crate::assert_slices_close(
+            matmul_tn(&a, &b).data(),
+            matmul(&a.transpose(), &b).data(),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn associativity_within_tolerance() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let a = Matrix::random_uniform(5, 6, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(6, 7, -1.0, 1.0, &mut rng);
+        let c = Matrix::random_uniform(7, 3, -1.0, 1.0, &mut rng);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        crate::assert_slices_close(left.data(), right.data(), 1e-4);
+    }
+
+    #[test]
+    fn flop_count_formula() {
+        assert_eq!(matmul_flops(2, 3, 4), 48.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul: inner dims")]
+    fn mismatched_dims_panic() {
+        matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+}

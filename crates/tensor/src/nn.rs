@@ -1,0 +1,326 @@
+//! Neural-network primitives on dense matrices: activations, row softmax,
+//! layer normalization (Eq. 13/14 of the paper) and cross-entropy loss.
+//!
+//! These are the *serial* kernels; the distributed layers compose their
+//! partial-sum versions from `TensorLike` primitives plus collectives, and
+//! the tests in `tesseract-core` check them against these references.
+
+use crate::matrix::Matrix;
+
+/// GELU activation (tanh approximation, as used by BERT/GPT/Megatron).
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`] with respect to its input.
+pub fn gelu_grad(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let x3 = x * x * x;
+    let inner = SQRT_2_OVER_PI * (x + 0.044715 * x3);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044715 * x * x)
+}
+
+/// Applies GELU elementwise.
+pub fn gelu_matrix(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for v in out.data_mut() {
+        *v = gelu(*v);
+    }
+    out
+}
+
+/// Elementwise GELU backward: `dX = dY ∘ gelu'(X)`.
+pub fn gelu_backward_matrix(x: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), dy.shape());
+    let mut out = dy.clone();
+    for (g, &xi) in out.data_mut().iter_mut().zip(x.data().iter()) {
+        *g *= gelu_grad(xi);
+    }
+    out
+}
+
+/// Numerically-stable softmax over each row.
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+    out
+}
+
+/// Softmax backward given the forward output `y` and upstream gradient `dy`:
+/// `dx_i = y_i * (dy_i - Σ_j y_j dy_j)` per row.
+pub fn softmax_rows_backward(y: &Matrix, dy: &Matrix) -> Matrix {
+    assert_eq!(y.shape(), dy.shape());
+    let mut out = Matrix::zeros(y.rows(), y.cols());
+    for i in 0..y.rows() {
+        let yr = y.row(i);
+        let dyr = dy.row(i);
+        let dot: f32 = yr.iter().zip(dyr.iter()).map(|(a, b)| a * b).sum();
+        for ((o, &yv), &dyv) in out.row_mut(i).iter_mut().zip(yr.iter()).zip(dyr.iter()) {
+            *o = yv * (dyv - dot);
+        }
+    }
+    out
+}
+
+/// Output of a layer-norm forward pass, caching what the backward needs.
+pub struct LayerNormCache {
+    /// Normalized output `X̂`.
+    pub y: Matrix,
+    /// `1 / sqrt(Var[X] + eps)` per row.
+    pub inv_std: Vec<f32>,
+}
+
+/// Layer normalization over each row (Eq. 13), without affine parameters, as
+/// in the paper's description of the residual-connection normalization.
+pub fn layernorm_rows(x: &Matrix, eps: f32) -> LayerNormCache {
+    let n = x.cols() as f32;
+    let mut y = x.clone();
+    let mut inv_std = Vec::with_capacity(x.rows());
+    for i in 0..y.rows() {
+        let row = y.row_mut(i);
+        let mean = row.iter().sum::<f32>() / n;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv = 1.0 / (var + eps).sqrt();
+        for v in row.iter_mut() {
+            *v = (*v - mean) * inv;
+        }
+        inv_std.push(inv);
+    }
+    LayerNormCache { y, inv_std }
+}
+
+/// Layer-norm backward (Eq. 14): given `dY = δJ/δX̂`, the cached normalized
+/// output `X̂` and `1/sqrt(Var+eps)`, returns `dX`.
+pub fn layernorm_rows_backward(cache: &LayerNormCache, dy: &Matrix) -> Matrix {
+    let y = &cache.y;
+    assert_eq!(y.shape(), dy.shape());
+    let n = y.cols() as f32;
+    let mut dx = Matrix::zeros(y.rows(), y.cols());
+    for i in 0..y.rows() {
+        let yr = y.row(i);
+        let dyr = dy.row(i);
+        let sum_dy: f32 = dyr.iter().sum();
+        let sum_y_dy: f32 = yr.iter().zip(dyr.iter()).map(|(a, b)| a * b).sum();
+        let inv = cache.inv_std[i];
+        for ((o, &yv), &dyv) in dx.row_mut(i).iter_mut().zip(yr.iter()).zip(dyr.iter()) {
+            *o = (dyv - (yv * sum_y_dy + sum_dy) / n) * inv;
+        }
+    }
+    dx
+}
+
+/// Adds a row-vector bias to every row.
+pub fn bias_add(x: &Matrix, bias: &[f32]) -> Matrix {
+    assert_eq!(x.cols(), bias.len());
+    let mut out = x.clone();
+    for i in 0..out.rows() {
+        for (v, b) in out.row_mut(i).iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
+    }
+    out
+}
+
+/// Mean cross-entropy of `logits` (rows = samples) against integer labels,
+/// plus the gradient with respect to the logits.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len());
+    let probs = softmax_rows(logits);
+    let n = logits.rows() as f32;
+    let mut loss = 0.0f32;
+    let mut grad = probs.clone();
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < logits.cols(), "label {label} out of range");
+        loss -= probs[(i, label)].max(1e-12).ln();
+        grad[(i, label)] -= 1.0;
+    }
+    grad.scale_assign(1.0 / n);
+    (loss / n, grad)
+}
+
+/// Count of argmax-correct rows (classification accuracy numerator).
+pub fn count_correct(logits: &Matrix, labels: &[usize]) -> usize {
+    assert_eq!(logits.rows(), labels.len());
+    let mut correct = 0;
+    for (i, &label) in labels.iter().enumerate() {
+        let row = logits.row(i);
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(j, _)| j)
+            .unwrap();
+        if argmax == label {
+            correct += 1;
+        }
+    }
+    correct
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256StarStar;
+
+    #[test]
+    fn gelu_known_values() {
+        assert!((gelu(0.0)).abs() < 1e-7);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // Asymptotics: gelu(x) -> x for large x, -> 0 for very negative x.
+        assert!((gelu(6.0) - 6.0).abs() < 1e-4);
+        assert!(gelu(-6.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        let h = 1e-3f32;
+        for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!((gelu_grad(x) - fd).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let x = Matrix::random_uniform(5, 8, -4.0, 4.0, &mut rng);
+        let y = softmax_rows(&x);
+        for i in 0..5 {
+            let s: f32 = y.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(y.row(i).iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let mut shifted = x.clone();
+        for v in shifted.data_mut() {
+            *v += 100.0;
+        }
+        crate::assert_slices_close(softmax_rows(&x).data(), softmax_rows(&shifted).data(), 1e-6);
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(2);
+        let x = Matrix::random_uniform(2, 4, -1.0, 1.0, &mut rng);
+        let dy = Matrix::random_uniform(2, 4, -1.0, 1.0, &mut rng);
+        let y = softmax_rows(&x);
+        let dx = softmax_rows_backward(&y, &dy);
+        let h = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..4 {
+                let mut xp = x.clone();
+                xp[(i, j)] += h;
+                let mut xm = x.clone();
+                xm[(i, j)] -= h;
+                let yp = softmax_rows(&xp);
+                let ym = softmax_rows(&xm);
+                let mut fd = 0.0f32;
+                for jj in 0..4 {
+                    fd += dy[(i, jj)] * (yp[(i, jj)] - ym[(i, jj)]) / (2.0 * h);
+                }
+                assert!((dx[(i, j)] - fd).abs() < 2e-3, "({i},{j}): {} vs {}", dx[(i, j)], fd);
+            }
+        }
+    }
+
+    #[test]
+    fn layernorm_produces_zero_mean_unit_var() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(3);
+        let x = Matrix::random_uniform(4, 16, -3.0, 3.0, &mut rng);
+        let cache = layernorm_rows(&x, 1e-5);
+        for i in 0..4 {
+            let row = cache.y.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-5);
+            assert!((var - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn layernorm_backward_matches_finite_difference() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(4);
+        let x = Matrix::random_uniform(2, 6, -2.0, 2.0, &mut rng);
+        let dy = Matrix::random_uniform(2, 6, -1.0, 1.0, &mut rng);
+        let cache = layernorm_rows(&x, 1e-5);
+        let dx = layernorm_rows_backward(&cache, &dy);
+        let h = 1e-2f32;
+        for i in 0..2 {
+            for j in 0..6 {
+                let mut xp = x.clone();
+                xp[(i, j)] += h;
+                let mut xm = x.clone();
+                xm[(i, j)] -= h;
+                let yp = layernorm_rows(&xp, 1e-5).y;
+                let ym = layernorm_rows(&xm, 1e-5).y;
+                let mut fd = 0.0f32;
+                for jj in 0..6 {
+                    fd += dy[(i, jj)] * (yp[(i, jj)] - ym[(i, jj)]) / (2.0 * h);
+                }
+                assert!((dx[(i, j)] - fd).abs() < 5e-2, "({i},{j}): {} vs {}", dx[(i, j)], fd);
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Matrix::from_vec(2, 3, vec![10.0, 0.0, 0.0, 0.0, 10.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        let logits = Matrix::random_uniform(3, 4, -1.0, 1.0, &mut rng);
+        let labels = [2usize, 0, 3];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let h = 1e-2f32;
+        for i in 0..3 {
+            for j in 0..4 {
+                let mut lp = logits.clone();
+                lp[(i, j)] += h;
+                let mut lm = logits.clone();
+                lm[(i, j)] -= h;
+                let (fp, _) = softmax_cross_entropy(&lp, &labels);
+                let (fm, _) = softmax_cross_entropy(&lm, &labels);
+                let fd = (fp - fm) / (2.0 * h);
+                assert!((grad[(i, j)] - fd).abs() < 1e-3, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bias_add_broadcasts() {
+        let x = Matrix::zeros(2, 3);
+        let out = bias_add(&x, &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(out.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn count_correct_counts() {
+        let logits = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(count_correct(&logits, &[0, 1, 1]), 2);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests (proptest) for the tensor substrate: algebraic
+//! identities of the kernels and structural invariants of the matrix type.
+
+use proptest::prelude::*;
+use tesseract_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use tesseract_tensor::nn;
+use tesseract_tensor::{approx_eq, max_rel_diff, Matrix, Xoshiro256StarStar};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..8, 1usize..8, 1usize..8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_left_distributive((m, k, n) in dims(), seed in 0u64..1000) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let a = Matrix::random_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(k, n, -1.0, 1.0, &mut rng);
+        let c = Matrix::random_uniform(k, n, -1.0, 1.0, &mut rng);
+        let mut b_plus_c = b.clone();
+        b_plus_c.add_assign(&c);
+        let lhs = matmul(&a, &b_plus_c);
+        let mut rhs = matmul(&a, &b);
+        rhs.add_assign(&matmul(&a, &c));
+        prop_assert!(max_rel_diff(lhs.data(), rhs.data()) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_reverses_products((m, k, n) in dims(), seed in 0u64..1000) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let a = Matrix::random_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(k, n, -1.0, 1.0, &mut rng);
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let lhs = matmul(&a, &b).transpose();
+        let rhs = matmul(&b.transpose(), &a.transpose());
+        prop_assert!(max_rel_diff(lhs.data(), rhs.data()) < 1e-4);
+    }
+
+    #[test]
+    fn nt_and_tn_agree_with_explicit_transposes((m, k, n) in dims(), seed in 0u64..1000) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let a = Matrix::random_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(n, k, -1.0, 1.0, &mut rng);
+        prop_assert!(max_rel_diff(
+            matmul_nt(&a, &b).data(),
+            matmul(&a, &b.transpose()).data()
+        ) < 1e-4);
+        let c = Matrix::random_uniform(m, n, -1.0, 1.0, &mut rng);
+        prop_assert!(max_rel_diff(
+            matmul_tn(&a, &c).data(),
+            matmul(&a.transpose(), &c).data()
+        ) < 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in matrix_strategy(4, 6)) {
+        let y = nn::softmax_rows(&m);
+        for i in 0..y.rows() {
+            let sum: f32 = y.row(i).iter().sum();
+            prop_assert!(approx_eq(sum, 1.0, 1e-4));
+            prop_assert!(y.row(i).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn layernorm_output_is_normalized(m in matrix_strategy(3, 16)) {
+        let cache = nn::layernorm_rows(&m, 1e-5);
+        for i in 0..cache.y.rows() {
+            let row = cache.y.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / row.len() as f32;
+            prop_assert!(mean.abs() < 1e-3, "row {i} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn slice_concat_rows_round_trip(m in matrix_strategy(6, 4), split in 1usize..5) {
+        let top = m.slice_rows(0, split);
+        let bottom = m.slice_rows(split, 6);
+        prop_assert_eq!(Matrix::concat_rows(&[top, bottom]), m);
+    }
+
+    #[test]
+    fn slice_concat_cols_round_trip(m in matrix_strategy(4, 6), split in 1usize..5) {
+        let left = m.slice_cols(0, split);
+        let right = m.slice_cols(split, 6);
+        prop_assert_eq!(Matrix::concat_cols(&[left, right]), m);
+    }
+
+    #[test]
+    fn block_tiling_reconstructs(m in matrix_strategy(6, 6), br in 1usize..4, bc in 1usize..4) {
+        // Tile with (possibly ragged) blocks and reassemble.
+        let mut rebuilt = Matrix::zeros(6, 6);
+        let mut r = 0;
+        while r < 6 {
+            let nr = br.min(6 - r);
+            let mut c = 0;
+            while c < 6 {
+                let nc = bc.min(6 - c);
+                rebuilt.set_block(r, c, &m.block(r, c, nr, nc));
+                c += nc;
+            }
+            r += nr;
+        }
+        prop_assert_eq!(rebuilt, m);
+    }
+
+    #[test]
+    fn rng_uniform_respects_bounds(seed in 0u64..10_000, lo in -5.0f32..0.0, width in 0.1f32..10.0) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let hi = lo + width;
+        for _ in 0..100 {
+            let x = rng.uniform(lo, hi);
+            prop_assert!(x >= lo && x < hi);
+        }
+    }
+
+    #[test]
+    fn gelu_is_monotone_on_positive_axis(a in 0.0f32..5.0, delta in 0.001f32..5.0) {
+        prop_assert!(nn::gelu(a + delta) >= nn::gelu(a));
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative(seed in 0u64..1000, label in 0usize..4) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let logits = Matrix::random_uniform(1, 4, -3.0, 3.0, &mut rng);
+        let (loss, grad) = nn::softmax_cross_entropy(&logits, &[label]);
+        prop_assert!(loss >= 0.0);
+        // Gradient rows sum to ~0 (softmax minus one-hot).
+        let s: f32 = grad.row(0).iter().sum();
+        prop_assert!(s.abs() < 1e-5);
+    }
+}

@@ -1,0 +1,16 @@
+//! # tesseract-train
+//!
+//! Training substrate for the Figure-7 reproduction: optimizers
+//! (SGD/AdamW/LAMB/LARS), a deterministic synthetic stand-in for
+//! ImageNet-100, a Vision Transformer in both Tesseract-parallel and
+//! serial form, and training loops that produce the accuracy curves.
+
+pub mod data;
+pub mod optim;
+pub mod trainer;
+pub mod vit;
+
+pub use data::SyntheticVisionDataset;
+pub use optim::{AdamW, Lamb, Lars, Sgd};
+pub use trainer::{train_serial, train_tesseract, EpochMetrics, TrainReport, TrainSettings};
+pub use vit::{distributed_cross_entropy, SerialViT, TesseractViT, ViTConfig};

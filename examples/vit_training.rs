@@ -1,0 +1,54 @@
+//! Figure-7 style experiment at example scale: train the same Vision
+//! Transformer on the synthetic ImageNet-100 substitute, single-device vs
+//! Tesseract `[2,2,2]`, and print the coinciding accuracy curves.
+//!
+//! Run: `cargo run --release --example vit_training`
+
+use tesseract_repro::core::{GridShape, TransformerConfig};
+use tesseract_repro::train::{
+    train_serial, train_tesseract, SyntheticVisionDataset, TrainSettings, ViTConfig,
+};
+
+fn main() {
+    let vcfg = ViTConfig {
+        body: TransformerConfig {
+            batch: 16,
+            seq: 4,
+            hidden: 16,
+            heads: 4,
+            mlp_ratio: 2,
+            layers: 2,
+            eps: 1e-5,
+        },
+        patch_dim: 8,
+        classes: 20,
+    };
+    let settings = TrainSettings {
+        epochs: 6,
+        steps_per_epoch: 10,
+        lr: 3e-3,
+        weight_decay: 0.3,
+        seed: 42,
+        data_seed: 555,
+    };
+    let ds = SyntheticVisionDataset::new(vcfg.classes, vcfg.body.seq, vcfg.patch_dim, 0.3, 3);
+
+    println!("training a {}-class ViT (h={}, {} layers) two ways...\n", vcfg.classes, vcfg.body.hidden, vcfg.body.layers);
+    let serial = train_serial(vcfg, &ds, settings);
+    let tess = train_tesseract(GridShape::new(2, 2), vcfg, &ds, settings);
+
+    println!("| epoch | single-GPU acc | [2,2,2] acc | single loss | [2,2,2] loss |");
+    println!("|---|---|---|---|---|");
+    for e in 0..settings.epochs {
+        println!(
+            "| {} | {:.4} | {:.4} | {:.4} | {:.4} |",
+            e + 1,
+            serial.epochs[e].accuracy,
+            tess.epochs[e].accuracy,
+            serial.epochs[e].loss,
+            tess.epochs[e].loss,
+        );
+    }
+    println!("\nTesseract trains the identical model: the curves coincide while the");
+    println!("8-GPU arrangement holds 1/8th of the activations per device.");
+}
