@@ -4,9 +4,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use tesseract_tensor::matmul::{matmul, matmul_nt, matmul_tn};
+use tesseract_tensor::matmul::{
+    matmul, matmul_blocked, matmul_nt, matmul_nt_blocked, matmul_nt_serial, matmul_serial,
+    matmul_tn, matmul_tn_blocked, matmul_tn_serial,
+};
 use tesseract_tensor::nn;
-use tesseract_tensor::{Matrix, Xoshiro256StarStar};
+use tesseract_tensor::{Matrix, ThreadPool, Xoshiro256StarStar};
 
 fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
@@ -32,6 +35,43 @@ fn bench_matmul(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial reference vs blocked kernel (1-thread pool, isolating the
+/// cache-blocking + packing win) vs blocked on the process pool, for every
+/// orientation at sizes around the dispatch threshold.
+fn bench_kernel_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_path");
+    group.sample_size(10);
+    let single = ThreadPool::new(1);
+    for n in [64usize, 128, 256] {
+        let a = random(n, n, 1);
+        let b = random(n, n, 2);
+        group.bench_with_input(BenchmarkId::new("serial_nn", n), &n, |bench, _| {
+            bench.iter(|| matmul_serial(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked1_nn", n), &n, |bench, _| {
+            bench.iter(|| matmul_blocked(black_box(&a), black_box(&b), &single))
+        });
+        group.bench_with_input(BenchmarkId::new("serial_nt", n), &n, |bench, _| {
+            bench.iter(|| matmul_nt_serial(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked1_nt", n), &n, |bench, _| {
+            bench.iter(|| matmul_nt_blocked(black_box(&a), black_box(&b), &single))
+        });
+        group.bench_with_input(BenchmarkId::new("serial_tn", n), &n, |bench, _| {
+            bench.iter(|| matmul_tn_serial(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked1_tn", n), &n, |bench, _| {
+            bench.iter(|| matmul_tn_blocked(black_box(&a), black_box(&b), &single))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked_pool_nn", n), &n, |bench, _| {
+            bench.iter(|| {
+                matmul_blocked(black_box(&a), black_box(&b), tesseract_tensor::pool::global())
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_nn_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn");
     group.sample_size(10);
@@ -46,5 +86,5 @@ fn bench_nn_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_nn_ops);
+criterion_group!(benches, bench_matmul, bench_kernel_paths, bench_nn_ops);
 criterion_main!(benches);

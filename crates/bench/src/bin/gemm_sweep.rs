@@ -1,0 +1,174 @@
+//! GEMM kernel sweep: seed-reference vs serial vs blocked vs blocked-parallel.
+//!
+//! Times the `n×n×n` product for each requested size on four kernels:
+//!
+//! * `seed` — a verbatim copy of the pre-blocking kernel this repo shipped
+//!   with (ikj loop with the zero-skip branch), kept here as the fixed
+//!   baseline the speedup columns are measured against;
+//! * `serial` — the current serial kernel (zero-skip removed, vectorizable);
+//! * `blocked1` — the cache-blocked/packed kernel on a 1-thread pool,
+//!   isolating the blocking + packing win from parallelism;
+//! * `blocked` — the same kernel on the process-wide pool
+//!   (`TESSERACT_THREADS` threads).
+//!
+//! Reports median wall time over `--reps` runs, GFLOP/s, and speedups over
+//! the seed kernel, as a table on stdout and as JSON (`--out`, default
+//! `BENCH_kernels.json`).
+//!
+//! Run: `cargo run --release -p tesseract-bench --bin gemm_sweep -- \
+//!           [--sizes 256,512,1024] [--reps 5] [--out BENCH_kernels.json]`
+
+use std::time::Instant;
+
+use tesseract_tensor::matmul::{matmul_blocked, matmul_serial};
+use tesseract_tensor::{pool, Matrix, ThreadPool, Xoshiro256StarStar};
+
+/// The seed repo's `matmul`, copied verbatim (modulo `Matrix` accessors):
+/// ikj order with a zero-skip branch on `a_ik`. The branch defeats
+/// vectorization of the inner loop and mis-handles `0 × NaN`; it is the
+/// baseline every speedup in BENCH_kernels.json is relative to.
+fn matmul_seed(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dims {} vs {}", a.cols(), b.rows());
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = b.row(kk);
+            for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_ij += a_ik * b_kj;
+            }
+        }
+    }
+    c
+}
+
+/// Median wall time in nanoseconds over `reps` runs of `f`.
+fn median_ns(reps: usize, mut f: impl FnMut() -> Matrix) -> f64 {
+    let mut times: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let out = f();
+            let elapsed = start.elapsed().as_nanos() as f64;
+            std::hint::black_box(out);
+            elapsed
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+struct Row {
+    n: usize,
+    seed_ns: f64,
+    serial_ns: f64,
+    blocked1_ns: f64,
+    blocked_ns: f64,
+}
+
+fn gflops(n: usize, ns: f64) -> f64 {
+    (2.0 * (n as f64).powi(3)) / ns
+}
+
+fn main() {
+    let mut sizes: Vec<usize> = vec![256, 512, 1024];
+    let mut reps = 5usize;
+    let mut out_path = String::from("BENCH_kernels.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| panic!("{name} needs a value")).clone()
+        };
+        match arg.as_str() {
+            "--sizes" => {
+                sizes = value("--sizes")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sizes wants comma-separated integers"))
+                    .collect();
+            }
+            "--reps" => reps = value("--reps").parse().expect("--reps wants an integer"),
+            "--out" => out_path = value("--out"),
+            other => panic!("unknown argument {other:?} (known: --sizes --reps --out)"),
+        }
+    }
+
+    let single = ThreadPool::new(1);
+    let global = pool::global();
+    println!(
+        "gemm_sweep: sizes {sizes:?}, {reps} reps, pool of {} thread(s)\n",
+        global.threads()
+    );
+    println!(
+        "| n    | seed ns      | serial ns    | blocked1 ns  | blocked ns   | serial GF/s | blocked GF/s | serial x | blk1 x | blk x |"
+    );
+    println!(
+        "|------|--------------|--------------|--------------|--------------|-------------|--------------|----------|--------|-------|"
+    );
+
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(n as u64);
+        let a = Matrix::random_uniform(n, n, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(n, n, -1.0, 1.0, &mut rng);
+
+        let row = Row {
+            n,
+            seed_ns: median_ns(reps, || matmul_seed(&a, &b)),
+            serial_ns: median_ns(reps, || matmul_serial(&a, &b)),
+            blocked1_ns: median_ns(reps, || matmul_blocked(&a, &b, &single)),
+            blocked_ns: median_ns(reps, || matmul_blocked(&a, &b, global)),
+        };
+        println!(
+            "| {:<4} | {:>12.0} | {:>12.0} | {:>12.0} | {:>12.0} | {:>11.3} | {:>12.3} | {:>8.2} | {:>6.2} | {:>5.2} |",
+            row.n,
+            row.seed_ns,
+            row.serial_ns,
+            row.blocked1_ns,
+            row.blocked_ns,
+            gflops(n, row.serial_ns),
+            gflops(n, row.blocked_ns),
+            row.seed_ns / row.serial_ns,
+            row.seed_ns / row.blocked1_ns,
+            row.seed_ns / row.blocked_ns,
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"gemm_sweep\",\n");
+    json.push_str("  \"units\": { \"time\": \"ns (median)\", \"rate\": \"GFLOP/s\" },\n");
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"pool_threads\": {},\n", global.threads()));
+    json.push_str("  \"kernels\": [\"seed\", \"serial\", \"blocked1\", \"blocked\"],\n");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"n\": {}, \"seed_ns\": {:.0}, \"serial_ns\": {:.0}, \"blocked1_ns\": {:.0}, \"blocked_ns\": {:.0}, \
+\"serial_gflops\": {:.3}, \"blocked1_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \
+\"speedup_serial\": {:.3}, \"speedup_blocked1\": {:.3}, \"speedup_blocked\": {:.3} }}{}\n",
+            r.n,
+            r.seed_ns,
+            r.serial_ns,
+            r.blocked1_ns,
+            r.blocked_ns,
+            gflops(r.n, r.serial_ns),
+            gflops(r.n, r.blocked1_ns),
+            gflops(r.n, r.blocked_ns),
+            r.seed_ns / r.serial_ns,
+            r.seed_ns / r.blocked1_ns,
+            r.seed_ns / r.blocked_ns,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json)
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("\nwrote {out_path}");
+}

@@ -17,10 +17,8 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
-
-use parking_lot::{Condvar, Mutex};
 
 /// How long a rank waits at a rendezvous before declaring the run wedged.
 /// Overridable via `TESSERACT_RENDEZVOUS_TIMEOUT_SECS` (tests that inject
@@ -69,6 +67,14 @@ pub struct Fabric {
     cond: Condvar,
 }
 
+/// Locks the fabric ignoring poisoning: a rank that panics mid-rendezvous
+/// (e.g. on a sequencing assert) must not turn every surviving rank's next
+/// lock into an opaque `PoisonError` — they should instead reach the timeout
+/// path and report the wedged rendezvous diagnostically.
+fn lock_fabric(m: &Mutex<FabricState>) -> MutexGuard<'_, FabricState> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Default for Fabric {
     fn default() -> Self {
         Self::new()
@@ -93,7 +99,7 @@ impl Fabric {
         payload: Option<P>,
         entry_vt: f64,
     ) -> (f64, Arc<Vec<Option<P>>>) {
-        let mut state = self.state.lock();
+        let mut state = lock_fabric(&self.state);
         {
             let slot = state.slots.entry(key).or_insert_with(|| Slot::new(n));
             assert_eq!(
@@ -138,7 +144,12 @@ impl Fabric {
                     return (max_vt, arc);
                 }
             }
-            if self.cond.wait_for(&mut state, rendezvous_timeout()).timed_out() {
+            let (guard, timed_out) = self
+                .cond
+                .wait_timeout(state, rendezvous_timeout())
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+            if timed_out.timed_out() {
                 panic!(
                     "rendezvous {key:?} timed out (member {my_index} of {n}); \
                      a peer likely panicked or collectives were issued out of order"
@@ -149,7 +160,7 @@ impl Fabric {
 
     /// Deposits a point-to-point message; never blocks.
     pub fn send<P: Send + 'static>(&self, chan: ChanKey, payload: P, send_vt: f64) {
-        let mut state = self.state.lock();
+        let mut state = lock_fabric(&self.state);
         state.channels.entry(chan).or_default().push_back((send_vt, Box::new(payload)));
         self.cond.notify_all();
     }
@@ -157,7 +168,7 @@ impl Fabric {
     /// Receives the oldest message on a channel, blocking until one arrives.
     /// Returns `(sender's vt at send, payload)`.
     pub fn recv<P: Send + 'static>(&self, chan: ChanKey) -> (f64, P) {
-        let mut state = self.state.lock();
+        let mut state = lock_fabric(&self.state);
         loop {
             if let Some(queue) = state.channels.get_mut(&chan) {
                 if let Some((vt, payload)) = queue.pop_front() {
@@ -168,7 +179,12 @@ impl Fabric {
                     return (vt, payload);
                 }
             }
-            if self.cond.wait_for(&mut state, rendezvous_timeout()).timed_out() {
+            let (guard, timed_out) = self
+                .cond
+                .wait_timeout(state, rendezvous_timeout())
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+            if timed_out.timed_out() {
                 panic!("recv on channel {chan:?} timed out; sender likely panicked");
             }
         }
@@ -215,7 +231,7 @@ mod tests {
             });
             assert_eq!(results[0].1.len(), 2);
         }
-        assert!(fabric.state.lock().slots.is_empty(), "slots must be garbage-collected");
+        assert!(lock_fabric(&fabric.state).slots.is_empty(), "slots must be garbage-collected");
     }
 
     #[test]

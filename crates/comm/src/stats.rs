@@ -5,8 +5,7 @@
 //! the per-rank communication time that feeds the Table 1/2 rows.
 
 use std::collections::HashMap;
-
-use parking_lot::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use crate::cost::CollectiveOp;
 
@@ -35,7 +34,7 @@ impl StatsCollector {
     /// Records one completed collective. Called exactly once per collective
     /// (by the last-arriving rank), so counts are per logical operation.
     pub fn record(&self, op: CollectiveOp, wire_bytes: u64, time: f64) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let entry = inner.entry(op).or_default();
         entry.calls += 1;
         entry.wire_bytes += wire_bytes;
@@ -44,7 +43,9 @@ impl StatsCollector {
 
     /// Snapshot of all op totals.
     pub fn snapshot(&self) -> CommStats {
-        CommStats { per_op: self.inner.lock().clone() }
+        CommStats {
+            per_op: self.inner.lock().unwrap_or_else(PoisonError::into_inner).clone(),
+        }
     }
 }
 

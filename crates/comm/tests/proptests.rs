@@ -1,6 +1,10 @@
 //! Property-based tests for the communication substrate: cost-model
 //! invariants and collective semantics on randomized inputs.
 
+// Gated behind the `proptest-tests` feature: run with
+//     cargo test -p <crate> --features proptest-tests
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use tesseract_comm::{Cluster, CollectiveOp, CostParams, Link, Topology};
 use tesseract_tensor::{DenseTensor, Matrix};

@@ -1,0 +1,196 @@
+//! Std-only, in-tree stand-in for the `criterion` crate.
+//!
+//! The offline build environment cannot fetch crates from a registry, so the
+//! bench targets link against this shim instead (cargo dependency rename:
+//! `criterion = { package = "tesseract-criterion", .. }`). It implements the
+//! subset the workspace's benches use — `Criterion`, `benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! with a simple measurement loop: per sample, run the closure enough times
+//! to cover a minimum window, and report the median over samples.
+//!
+//! No statistics engine, plots, or baseline comparison; the numbers are
+//! honest wall-clock medians printed to stdout, good enough to eyeball
+//! regressions. The `gemm_sweep` bin is the machine-readable perf record.
+
+use std::time::{Duration, Instant};
+
+/// Target accumulated time per sample; closures faster than this are batched.
+const MIN_SAMPLE_WINDOW: Duration = Duration::from_millis(2);
+
+/// Top-level driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size: 20 }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+        run_benchmark(&id.into(), 20, f);
+        self
+    }
+}
+
+/// Identifier combining a function name and a parameter, as in criterion.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl ToString, f: F) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.to_string()), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] times one sample.
+pub struct Bencher {
+    batch: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, mut f: F) {
+    // Calibrate: grow the batch until one sample covers the minimum window.
+    let mut batch = 1u32;
+    loop {
+        let mut b = Bencher { batch, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= MIN_SAMPLE_WINDOW || batch >= 1 << 20 {
+            break;
+        }
+        batch = batch.saturating_mul(2);
+    }
+    let mut per_iter: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher { batch, elapsed: Duration::ZERO };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / batch as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let (lo, hi) = (per_iter[0], per_iter[per_iter.len() - 1]);
+    println!(
+        "bench {label:<40} median {:>12}  (min {}, max {}, {} samples x {} iters)",
+        fmt_ns(median),
+        fmt_ns(lo),
+        fmt_ns(hi),
+        samples,
+        batch
+    );
+}
+
+fn fmt_ns(secs: f64) -> String {
+    let ns = secs * 1e9;
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Registers a list of benchmark functions under one group name, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running every registered group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("nn", 64).to_string(), "nn/64");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+}

@@ -23,11 +23,14 @@ pub mod matmul;
 pub mod matrix;
 pub mod meter;
 pub mod nn;
+pub mod pool;
 pub mod rng;
 pub mod tensor;
 
+pub use matmul::KernelPath;
 pub use matrix::Matrix;
 pub use meter::Meter;
+pub use pool::ThreadPool;
 pub use rng::Xoshiro256StarStar;
 pub use tensor::{DenseTensor, ShadowTensor, TensorLike};
 

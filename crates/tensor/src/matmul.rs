@@ -3,13 +3,114 @@
 //! Three orientations are needed by the distributed algorithms (the paper's
 //! §3.1 defines Tesseract variants for `C = A·B`, `C = A·Bᵀ`, `C = Aᵀ·B`;
 //! the latter two implement the backward rules `A' = C'·Bᵀ`, `B' = Aᵀ·C'`).
-//! The inner loops are written in ikj / dot-product order so that LLVM can
-//! vectorize them on contiguous rows.
+//!
+//! Each orientation has two implementations sharing one numerical contract:
+//!
+//! * a **serial** triple-loop kernel (`*_serial`) used below the
+//!   [`planned_path`] size threshold, where blocking overhead would dominate;
+//! * a **cache-blocked, packed, multi-threaded** kernel (`*_blocked`) used
+//!   above it: A and B are repacked into `MR`/`NR`-wide micro-panels sized
+//!   to L1/L2 ([`BLOCK_M`]/[`BLOCK_K`]/[`BLOCK_N`]), a register-tiled
+//!   micro-kernel accumulates an `MR×NR` block of C, and row-blocks of C are
+//!   distributed over the in-tree [`pool::ThreadPool`].
+//!
+//! **Determinism contract** (DESIGN.md §5): every element of C is computed
+//! by exactly one task as `((0 + a_i0·b_0j) + a_i1·b_1j) + …` in strictly
+//! ascending k order, in both implementations — blocking tiles k but visits
+//! tiles in order, packing copies values bit-exactly, and vectorization only
+//! spans independent elements, never one element's reduction chain. The two
+//! paths therefore produce **bitwise-identical** output at any thread count,
+//! so the dispatcher and pool size can never change a result.
 
 use crate::matrix::Matrix;
+use crate::pool::{self, ThreadPool};
+
+/// Rows of C per parallel task and per A-panel repack (L2-sized with
+/// `BLOCK_K`: 64·256 f32 = 64 KiB).
+pub const BLOCK_M: usize = 64;
+/// Depth (k) tile; one packed B micro-panel stream is `BLOCK_K·NR` f32
+/// = 8 KiB, resident in L1 across a whole row of micro-tiles.
+pub const BLOCK_K: usize = 256;
+/// Column (n) tile; the packed B block `BLOCK_K·BLOCK_N` f32 = 256 KiB
+/// stays L2-resident while a task sweeps its row panel.
+pub const BLOCK_N: usize = 256;
+
+/// Micro-tile rows: C accumulators held in registers are `MR×NR` f32
+/// (4×8 = 8 SSE vectors, the x86-64 baseline budget).
+const MR: usize = 4;
+/// Micro-tile columns (two 4-lane f32 vectors per accumulator row).
+const NR: usize = 8;
+
+/// `m·k·n` below which the serial kernel is dispatched (≈ one 64³ GEMM);
+/// under this size the pack/tile bookkeeping costs more than it saves.
+pub const BLOCKED_MIN_ELEMS: usize = 64 * 64 * 64;
+
+/// Which implementation [`planned_path`] selects for a GEMM shape. The
+/// [`crate::Meter`] records a count per variant so experiments can audit
+/// what actually ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelPath {
+    /// Simple triple-loop kernel, single thread.
+    Serial,
+    /// Cache-blocked packed kernel, row-blocks parallelized over the pool.
+    BlockedParallel,
+}
+
+/// Deterministic dispatch decision for a `[m,k]·[k,n]` product. Depends only
+/// on the shape — never on thread count or data — so dense and shadow
+/// backends agree and runs are reproducible. Degenerate outputs (fewer rows
+/// or columns than one micro-tile) stay serial: most of each register tile
+/// would be padding.
+pub fn planned_path(m: usize, k: usize, n: usize) -> KernelPath {
+    if m >= MR && n >= NR && m.saturating_mul(k).saturating_mul(n) >= BLOCKED_MIN_ELEMS {
+        KernelPath::BlockedParallel
+    } else {
+        KernelPath::Serial
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public entry points: dispatch serial vs blocked-parallel
+// ---------------------------------------------------------------------------
 
 /// `C = A · B`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dims {} vs {}", a.cols(), b.rows());
+    match planned_path(a.rows(), a.cols(), b.cols()) {
+        KernelPath::Serial => matmul_serial(a, b),
+        KernelPath::BlockedParallel => matmul_blocked(a, b, pool::global()),
+    }
+}
+
+/// `C = A · Bᵀ` without materializing the transpose.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: inner dims {} vs {}", a.cols(), b.cols());
+    match planned_path(a.rows(), a.cols(), b.rows()) {
+        KernelPath::Serial => matmul_nt_serial(a, b),
+        KernelPath::BlockedParallel => matmul_nt_blocked(a, b, pool::global()),
+    }
+}
+
+/// `C = Aᵀ · B` without materializing the transpose.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn: inner dims {} vs {}", a.rows(), b.rows());
+    match planned_path(a.cols(), a.rows(), b.cols()) {
+        KernelPath::Serial => matmul_tn_serial(a, b),
+        KernelPath::BlockedParallel => matmul_tn_blocked(a, b, pool::global()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serial reference kernels
+// ---------------------------------------------------------------------------
+//
+// ikj / dot-product order so LLVM vectorizes the contiguous inner loops.
+// Deliberately branch-free: the old `if a_ik == 0.0 { continue }` "skip"
+// both defeated vectorization and broke IEEE semantics (`0 · NaN` must be
+// NaN, `0 · inf` must be NaN — skipping dropped them).
+
+/// Serial `C = A · B`.
+pub fn matmul_serial(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul: inner dims {} vs {}", a.cols(), b.rows());
     let (m, k) = a.shape();
     let n = b.cols();
@@ -18,9 +119,6 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         let a_row = a.row(i);
         let c_row = c.row_mut(i);
         for (kk, &a_ik) in a_row.iter().enumerate().take(k) {
-            if a_ik == 0.0 {
-                continue;
-            }
             let b_row = b.row(kk);
             for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
                 *c_ij += a_ik * b_kj;
@@ -30,8 +128,8 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
-/// `C = A · Bᵀ` without materializing the transpose.
-pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+/// Serial `C = A · Bᵀ`.
+pub fn matmul_nt_serial(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_nt: inner dims {} vs {}", a.cols(), b.cols());
     let m = a.rows();
     let n = b.rows();
@@ -51,8 +149,8 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
-/// `C = Aᵀ · B` without materializing the transpose.
-pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+/// Serial `C = Aᵀ · B`.
+pub fn matmul_tn_serial(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn: inner dims {} vs {}", a.rows(), b.rows());
     let m = a.cols();
     let n = b.cols();
@@ -62,9 +160,6 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
         let a_row = a.row(kk);
         let b_row = b.row(kk);
         for (i, &a_ki) in a_row.iter().enumerate().take(m) {
-            if a_ki == 0.0 {
-                continue;
-            }
             let c_row = c.row_mut(i);
             for (c_ij, &b_kj) in c_row.iter_mut().zip(b_row.iter()) {
                 *c_ij += a_ki * b_kj;
@@ -72,6 +167,305 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
         }
     }
     c
+}
+
+// ---------------------------------------------------------------------------
+// Blocked, packed, parallel kernels
+// ---------------------------------------------------------------------------
+
+/// How the logical `[m,k]·[k,n]` operands map onto the stored matrices.
+#[derive(Clone, Copy)]
+enum Orient {
+    /// `A[m,k]`, `B[k,n]` as stored.
+    Nn,
+    /// logical B is `Bᵀ` of the stored `[n,k]` matrix.
+    Nt,
+    /// logical A is `Aᵀ` of the stored `[k,m]` matrix.
+    Tn,
+}
+
+/// Blocked-parallel `C = A · B` on an explicit pool (exposed so tests and
+/// benches can pin thread counts; production call sites use [`matmul`]).
+pub fn matmul_blocked(a: &Matrix, b: &Matrix, pool: &ThreadPool) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dims {} vs {}", a.cols(), b.rows());
+    gemm_blocked(Orient::Nn, a, b, a.rows(), a.cols(), b.cols(), pool)
+}
+
+/// Blocked-parallel `C = A · Bᵀ` on an explicit pool.
+pub fn matmul_nt_blocked(a: &Matrix, b: &Matrix, pool: &ThreadPool) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: inner dims {} vs {}", a.cols(), b.cols());
+    gemm_blocked(Orient::Nt, a, b, a.rows(), a.cols(), b.rows(), pool)
+}
+
+/// Blocked-parallel `C = Aᵀ · B` on an explicit pool.
+pub fn matmul_tn_blocked(a: &Matrix, b: &Matrix, pool: &ThreadPool) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn: inner dims {} vs {}", a.rows(), b.rows());
+    gemm_blocked(Orient::Tn, a, b, a.cols(), a.rows(), b.cols(), pool)
+}
+
+/// Shared pointer to C's buffer handed to tasks; tasks write disjoint row
+/// ranges, so no two tasks alias.
+#[derive(Clone, Copy)]
+struct CPtr(*mut f32);
+unsafe impl Send for CPtr {}
+unsafe impl Sync for CPtr {}
+
+impl CPtr {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare non-`Sync` pointer inside it.
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+fn gemm_blocked(
+    orient: Orient,
+    a: &Matrix,
+    b: &Matrix,
+    m: usize,
+    k: usize,
+    n: usize,
+    pool: &ThreadPool,
+) -> Matrix {
+    let mut c = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    // B is packed ONCE, up front, and shared read-only by every task —
+    // repacking it per row-block would add O(k·n) copies per task.
+    let b_packed = PackedB::new(orient, b, k, n);
+    let n_tasks = m.div_ceil(BLOCK_M);
+    let c_ptr = CPtr(c.data_mut().as_mut_ptr());
+    pool.parallel_for(n_tasks, &|t| {
+        let i0 = t * BLOCK_M;
+        let i1 = (i0 + BLOCK_M).min(m);
+        // SAFETY: tasks receive disjoint row ranges of C (task t owns rows
+        // [t·BLOCK_M, (t+1)·BLOCK_M)), and `parallel_for` completes before
+        // `c` is touched again by this thread.
+        let c_rows =
+            unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(i0 * n), (i1 - i0) * n) };
+        gemm_row_block(orient, a, &b_packed, c_rows, i0, i1 - i0, k, n);
+    });
+    c
+}
+
+/// Fixed-size slot for one `(k-tile, column-panel)` of packed B, so panel
+/// addresses are computable without per-tile offset tables.
+const B_SLOT: usize = BLOCK_K * NR;
+
+/// All of logical B repacked into `NR`-column micro-panels, grouped by
+/// k-tile: slot `(kc_idx, q)` holds `B[kc .. kc+kb, q·NR .. q·NR+NR]` as
+/// `kb` rows of `NR` contiguous values (zero-padded at both remainders).
+/// Padded lanes feed don't-care accumulator columns that are never stored.
+struct PackedB {
+    buf: Vec<f32>,
+    n_panels: usize,
+}
+
+impl PackedB {
+    fn new(orient: Orient, b: &Matrix, k: usize, n: usize) -> Self {
+        let n_panels = n.div_ceil(NR);
+        let k_tiles = k.div_ceil(BLOCK_K);
+        // Pre-zeroed, each slot written once: padding needs no extra pass.
+        let mut buf = vec![0.0f32; k_tiles * n_panels * B_SLOT];
+        for (kc_idx, kc) in (0..k).step_by(BLOCK_K).enumerate() {
+            let kb = (k - kc).min(BLOCK_K);
+            for q in 0..n_panels {
+                let slot = &mut buf[(kc_idx * n_panels + q) * B_SLOT..][..B_SLOT];
+                let j = q * NR;
+                let cols = (n - j).min(NR);
+                match orient {
+                    Orient::Nn | Orient::Tn => {
+                        // Stored row-major [k, n]: copy a row stripe per kk.
+                        for kk in 0..kb {
+                            let src = &b.row(kc + kk)[j..j + cols];
+                            slot[kk * NR..kk * NR + cols].copy_from_slice(src);
+                        }
+                    }
+                    Orient::Nt => {
+                        // Logical B = stored Bᵀ [n, k]: logical column j is
+                        // storage row j — walk it contiguously, scatter with
+                        // stride NR.
+                        for (l, row) in (0..cols).map(|l| (l, b.row(j + l))) {
+                            for (kk, &v) in row[kc..kc + kb].iter().enumerate() {
+                                slot[kk * NR + l] = v;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self { buf, n_panels }
+    }
+
+    fn panel(&self, kc_idx: usize, q: usize) -> &[f32] {
+        &self.buf[(kc_idx * self.n_panels + q) * B_SLOT..][..B_SLOT]
+    }
+}
+
+/// Computes rows `[i0, i0+mb)` of C. Per k-tile: repack the A row panel
+/// (once — it is reused across every column panel), then sweep column panels
+/// outer / row panels inner so each 8 KiB packed B panel stays L1-resident
+/// while the L2-resident A panel streams past it. Serial per task;
+/// parallelism lives one level up.
+fn gemm_row_block(
+    orient: Orient,
+    a: &Matrix,
+    b_packed: &PackedB,
+    c_rows: &mut [f32],
+    i0: usize,
+    mb: usize,
+    k: usize,
+    n: usize,
+) {
+    let row_panels = mb.div_ceil(MR);
+    let mut a_pack = vec![0.0f32; row_panels * MR * k.min(BLOCK_K)];
+    for (kc_idx, kc) in (0..k).step_by(BLOCK_K).enumerate() {
+        let kb = (k - kc).min(BLOCK_K);
+        pack_a(orient, a, &mut a_pack, i0, mb, kc, kb);
+        for q in 0..b_packed.n_panels {
+            let cols = (n - q * NR).min(NR);
+            let b_panel = b_packed.panel(kc_idx, q);
+            for p in 0..row_panels {
+                let rows = (mb - p * MR).min(MR);
+                let a_panel = &a_pack[p * kb * MR..(p + 1) * kb * MR];
+                micro_kernel(a_panel, b_panel, kb, c_rows, p * MR, q * NR, n, rows, cols);
+            }
+        }
+    }
+}
+
+/// `MR×NR` register-tile update: `C[tile] += Apanel · Bpanel` over `kb`
+/// depth steps. The full-tile case is split out with constant-size loads
+/// and stores so LLVM promotes the whole accumulator array to vector
+/// registers; the `l` loop vectorizes, the per-element k chain stays scalar
+/// and in-order (the determinism contract).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn micro_kernel(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kb: usize,
+    c_rows: &mut [f32],
+    ci: usize,
+    cj: usize,
+    n: usize,
+    rows: usize,
+    cols: usize,
+) {
+    if rows == MR && cols == NR {
+        micro_kernel_full(a_panel, b_panel, kb, c_rows, ci, cj, n);
+    } else {
+        micro_kernel_edge(a_panel, b_panel, kb, c_rows, ci, cj, n, rows, cols);
+    }
+}
+
+/// Full-tile fast path. Every access to `acc` is a constant index (the
+/// `MR`/`NR` loops fully unroll), so the array lives in registers; loading
+/// the C tile first keeps each element's k-chain unbroken across k-tiles.
+#[inline]
+fn micro_kernel_full(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kb: usize,
+    c_rows: &mut [f32],
+    ci: usize,
+    cj: usize,
+    n: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        let src: &[f32; NR] = c_rows[(ci + r) * n + cj..][..NR].try_into().unwrap();
+        *acc_row = *src;
+    }
+    for (av, bv) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)).take(kb) {
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let ar = av[r];
+            for (x, &bl) in acc_row.iter_mut().zip(bv) {
+                *x += ar * bl;
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let dst: &mut [f32; NR] = (&mut c_rows[(ci + r) * n + cj..][..NR]).try_into().unwrap();
+        *dst = *acc_row;
+    }
+}
+
+/// Remainder tiles at the right/bottom edges: same arithmetic, but loads
+/// and stores clip to the valid `rows × cols` region (padded accumulator
+/// lanes are computed and discarded). Not speed-critical.
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel_edge(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kb: usize,
+    c_rows: &mut [f32],
+    ci: usize,
+    cj: usize,
+    n: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for r in 0..rows {
+        let c_row = &c_rows[(ci + r) * n + cj..(ci + r) * n + cj + cols];
+        acc[r][..cols].copy_from_slice(c_row);
+    }
+    for (av, bv) in a_panel.chunks_exact(MR).zip(b_panel.chunks_exact(NR)).take(kb) {
+        for r in 0..MR {
+            let ar = av[r];
+            for l in 0..NR {
+                acc[r][l] += ar * bv[l];
+            }
+        }
+    }
+    for r in 0..rows {
+        let c_row = &mut c_rows[(ci + r) * n + cj..(ci + r) * n + cj + cols];
+        c_row.copy_from_slice(&acc[r][..cols]);
+    }
+}
+
+/// Packs logical-A rows `[i0, i0+mb) × [kc, kc+kb)` into `MR`-row panels:
+/// `buf[(panel·kb + kk)·MR + r]`, zero-padding the row remainder (padded
+/// rows are computed into don't-care accumulator lanes and never stored).
+fn pack_a(orient: Orient, a: &Matrix, buf: &mut [f32], i0: usize, mb: usize, kc: usize, kb: usize) {
+    let panels = mb.div_ceil(MR);
+    match orient {
+        Orient::Nn | Orient::Nt => {
+            // Logical A is the stored matrix: copy row slices, stride MR out.
+            for p in 0..panels {
+                let panel = &mut buf[p * kb * MR..(p + 1) * kb * MR];
+                let rows = (mb - p * MR).min(MR);
+                for r in 0..MR {
+                    if r < rows {
+                        let a_row = &a.row(i0 + p * MR + r)[kc..kc + kb];
+                        for (kk, &v) in a_row.iter().enumerate() {
+                            panel[kk * MR + r] = v;
+                        }
+                    } else {
+                        for kk in 0..kb {
+                            panel[kk * MR + r] = 0.0;
+                        }
+                    }
+                }
+            }
+        }
+        Orient::Tn => {
+            // Logical A = stored Aᵀ: row kk of storage holds the panel's
+            // r-contiguous values, so each copy is a contiguous quad.
+            for p in 0..panels {
+                let panel = &mut buf[p * kb * MR..(p + 1) * kb * MR];
+                let rows = (mb - p * MR).min(MR);
+                for kk in 0..kb {
+                    let src = &a.row(kc + kk)[i0 + p * MR..i0 + p * MR + rows];
+                    let dst = &mut panel[kk * MR..kk * MR + MR];
+                    dst[..rows].copy_from_slice(src);
+                    dst[rows..].fill(0.0);
+                }
+            }
+        }
+    }
 }
 
 /// Flop count of a `[m,k] x [k,n]` multiply-accumulate product. All three
@@ -160,5 +554,66 @@ mod tests {
     #[should_panic(expected = "matmul: inner dims")]
     fn mismatched_dims_panic() {
         matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
+    }
+
+    /// Regression for the removed zero-skip branch: `0 · NaN` must reach C
+    /// as NaN (IEEE 754), in every orientation and on both kernel paths.
+    #[test]
+    fn zero_times_nan_propagates() {
+        let mut a = Matrix::zeros(2, 3); // A is all zeros, incl. the NaN row
+        a[(1, 1)] = 1.0;
+        let mut b = Matrix::full(3, 2, 1.0);
+        b[(0, 0)] = f32::NAN; // multiplied only by A's zeros
+        let c = matmul_serial(&a, &b);
+        assert!(c[(0, 0)].is_nan(), "0 * NaN must propagate into C");
+        assert!(c[(1, 0)].is_nan());
+        assert!(!c[(0, 1)].is_nan());
+        let pool = ThreadPool::new(2);
+        let cb = matmul_blocked(&a, &b, &pool);
+        assert_eq!(c.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                   cb.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+
+        // Aᵀ·B with a zero in Aᵀ against a NaN in B.
+        let mut at = Matrix::zeros(3, 2);
+        at[(2, 0)] = 2.0;
+        let ct = matmul_tn_serial(&at, &b);
+        assert!(ct[(0, 0)].is_nan());
+        // A·Bᵀ: NaN in B's column hit by a zero of A.
+        let mut bt = Matrix::full(2, 3, 1.0);
+        bt[(0, 0)] = f32::NAN;
+        let cn = matmul_nt_serial(&a, &bt);
+        assert!(cn[(0, 0)].is_nan());
+    }
+
+    /// The dispatcher's two paths must agree bit-for-bit, so dispatch can
+    /// never change results.
+    #[test]
+    fn serial_and_blocked_agree_bitwise_at_the_threshold() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(6);
+        let pool = ThreadPool::new(3);
+        let a = Matrix::random_uniform(64, 64, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(64, 64, -1.0, 1.0, &mut rng);
+        assert_eq!(matmul_serial(&a, &b), matmul_blocked(&a, &b, &pool));
+        assert_eq!(matmul_nt_serial(&a, &b), matmul_nt_blocked(&a, &b, &pool));
+        assert_eq!(matmul_tn_serial(&a, &b), matmul_tn_blocked(&a, &b, &pool));
+    }
+
+    #[test]
+    fn planned_path_thresholds() {
+        assert_eq!(planned_path(4, 4, 4), KernelPath::Serial);
+        assert_eq!(planned_path(64, 64, 64), KernelPath::BlockedParallel);
+        // Degenerate outputs stay serial no matter how much work k adds.
+        assert_eq!(planned_path(1, 1 << 20, 1), KernelPath::Serial);
+        assert_eq!(planned_path(usize::MAX, 2, usize::MAX), KernelPath::BlockedParallel);
+    }
+
+    #[test]
+    fn empty_dims_yield_zero_matrices() {
+        let pool = ThreadPool::new(2);
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 5);
+        let c = matmul_blocked(&a, &b, &pool);
+        assert_eq!(c.shape(), (3, 5));
+        assert!(c.data().iter().all(|&v| v == 0.0));
     }
 }

@@ -6,6 +6,8 @@
 //! (`flops / device_rate + kernels * launch_overhead`), which is what the
 //! Table 1 / Table 2 reproductions report instead of host wall-clock.
 
+use crate::matmul::KernelPath;
+
 /// Accumulated compute-side costs for one rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Meter {
@@ -15,6 +17,11 @@ pub struct Meter {
     pub bytes_allocated: u64,
     /// Number of kernel launches (each costs fixed overhead on a real GPU).
     pub kernels: u64,
+    /// GEMM launches dispatched to the blocked-parallel kernel.
+    pub gemms_blocked: u64,
+    /// GEMM launches that fell back to the serial kernel (below the
+    /// `matmul::planned_path` size threshold).
+    pub gemms_serial: u64,
 }
 
 impl Meter {
@@ -34,11 +41,25 @@ impl Meter {
         }
     }
 
+    /// Records one GEMM launch, additionally tallying which kernel
+    /// implementation its shape dispatched to. Dense and shadow backends
+    /// both derive `path` from `matmul::planned_path`, so their meters stay
+    /// equal op for op.
+    pub fn record_gemm(&mut self, flops: f64, out_bytes: usize, path: KernelPath) {
+        self.record(flops, out_bytes);
+        match path {
+            KernelPath::BlockedParallel => self.gemms_blocked += 1,
+            KernelPath::Serial => self.gemms_serial += 1,
+        }
+    }
+
     /// Merges another meter into this one (e.g. per-layer into per-step).
     pub fn merge(&mut self, other: &Meter) {
         self.flops += other.flops;
         self.bytes_allocated += other.bytes_allocated;
         self.kernels += other.kernels;
+        self.gemms_blocked += other.gemms_blocked;
+        self.gemms_serial += other.gemms_serial;
     }
 
     /// Returns the current totals and resets the meter, for converting a
@@ -89,5 +110,19 @@ mod tests {
         assert_eq!(a.flops, 4.0);
         assert_eq!(a.bytes_allocated, 6);
         assert_eq!(a.kernels, 2);
+    }
+
+    #[test]
+    fn gemm_dispatch_counts_by_path() {
+        let mut m = Meter::new();
+        m.record_gemm(10.0, 8, KernelPath::Serial);
+        m.record_gemm(20.0, 8, KernelPath::BlockedParallel);
+        m.record_gemm(30.0, 8, KernelPath::BlockedParallel);
+        assert_eq!((m.gemms_serial, m.gemms_blocked), (1, 2));
+        assert_eq!(m.kernels, 3);
+        let mut other = Meter::new();
+        other.record_gemm(1.0, 1, KernelPath::Serial);
+        m.merge(&other);
+        assert_eq!((m.gemms_serial, m.gemms_blocked), (2, 2));
     }
 }

@@ -201,27 +201,30 @@ impl TensorLike for DenseTensor {
 
     fn matmul(&self, rhs: &Self, m: &mut Meter) -> Self {
         let out = matmul::matmul(&self.0, &rhs.0);
-        m.record(
+        m.record_gemm(
             matmul::matmul_flops(self.rows(), self.cols(), rhs.cols()),
             out.len() * ELEM_BYTES,
+            matmul::planned_path(self.rows(), self.cols(), rhs.cols()),
         );
         Self(out)
     }
 
     fn matmul_nt(&self, rhs: &Self, m: &mut Meter) -> Self {
         let out = matmul::matmul_nt(&self.0, &rhs.0);
-        m.record(
+        m.record_gemm(
             matmul::matmul_flops(self.rows(), self.cols(), rhs.rows()),
             out.len() * ELEM_BYTES,
+            matmul::planned_path(self.rows(), self.cols(), rhs.rows()),
         );
         Self(out)
     }
 
     fn matmul_tn(&self, rhs: &Self, m: &mut Meter) -> Self {
         let out = matmul::matmul_tn(&self.0, &rhs.0);
-        m.record(
+        m.record_gemm(
             matmul::matmul_flops(self.cols(), self.rows(), rhs.cols()),
             out.len() * ELEM_BYTES,
+            matmul::planned_path(self.cols(), self.rows(), rhs.cols()),
         );
         Self(out)
     }
@@ -470,21 +473,33 @@ impl TensorLike for ShadowTensor {
     fn matmul(&self, rhs: &Self, m: &mut Meter) -> Self {
         assert_eq!(self.cols, rhs.rows, "matmul: inner dims {} vs {}", self.cols, rhs.rows);
         let out = Self::new(self.rows, rhs.cols);
-        m.record(matmul::matmul_flops(self.rows, self.cols, rhs.cols), out.byte_size());
+        m.record_gemm(
+            matmul::matmul_flops(self.rows, self.cols, rhs.cols),
+            out.byte_size(),
+            matmul::planned_path(self.rows, self.cols, rhs.cols),
+        );
         out
     }
 
     fn matmul_nt(&self, rhs: &Self, m: &mut Meter) -> Self {
         assert_eq!(self.cols, rhs.cols, "matmul_nt: inner dims {} vs {}", self.cols, rhs.cols);
         let out = Self::new(self.rows, rhs.rows);
-        m.record(matmul::matmul_flops(self.rows, self.cols, rhs.rows), out.byte_size());
+        m.record_gemm(
+            matmul::matmul_flops(self.rows, self.cols, rhs.rows),
+            out.byte_size(),
+            matmul::planned_path(self.rows, self.cols, rhs.rows),
+        );
         out
     }
 
     fn matmul_tn(&self, rhs: &Self, m: &mut Meter) -> Self {
         assert_eq!(self.rows, rhs.rows, "matmul_tn: inner dims {} vs {}", self.rows, rhs.rows);
         let out = Self::new(self.cols, rhs.cols);
-        m.record(matmul::matmul_flops(self.cols, self.rows, rhs.cols), out.byte_size());
+        m.record_gemm(
+            matmul::matmul_flops(self.cols, self.rows, rhs.cols),
+            out.byte_size(),
+            matmul::planned_path(self.cols, self.rows, rhs.cols),
+        );
         out
     }
 

@@ -1,0 +1,158 @@
+//! Bitwise parity of the blocked (and blocked-parallel) GEMM kernels against
+//! the serial reference, and determinism across thread counts.
+//!
+//! The contract under test (DESIGN.md §5): for every orientation and every
+//! shape, `*_blocked` produces **bitwise identical** output to `*_serial`,
+//! regardless of how many threads the pool has. This holds because both
+//! kernels accumulate each output element along the same ascending-k chain;
+//! blocking and parallelism only change iteration *grouping*, never the
+//! per-element floating-point evaluation order.
+
+use tesseract_tensor::matmul::{
+    matmul_blocked, matmul_nt_blocked, matmul_nt_serial, matmul_serial, matmul_tn_blocked,
+    matmul_tn_serial, BLOCK_K, BLOCK_M, BLOCK_N,
+};
+use tesseract_tensor::{Matrix, ThreadPool, Xoshiro256StarStar};
+
+/// Deterministic test matrix with non-trivial mantissas (so reassociated
+/// summation would actually change bits) and mixed signs/magnitudes.
+fn gen(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    Matrix::random_uniform(rows, cols, -2.5, 2.5, &mut rng)
+}
+
+fn assert_bitwise_eq(label: &str, reference: &Matrix, candidate: &Matrix) {
+    assert_eq!(reference.shape(), candidate.shape(), "{label}: shape mismatch");
+    for (i, (r, c)) in reference.data().iter().zip(candidate.data()).enumerate() {
+        assert_eq!(
+            r.to_bits(),
+            c.to_bits(),
+            "{label}: bit mismatch at flat index {i}: {r} vs {c}"
+        );
+    }
+}
+
+/// Checks all three orientations at one `(m, k, n)` against the given pool.
+/// Operand shapes are arranged so the *logical* product is m×k · k×n in every
+/// orientation (nt stores B as n×k, tn stores A as k×m).
+fn check_shape(m: usize, k: usize, n: usize, pool: &ThreadPool, label: &str) {
+    let a = gen(m, k, 1);
+    let b = gen(k, n, 2);
+    assert_bitwise_eq(
+        &format!("{label} nn {m}x{k}x{n}"),
+        &matmul_serial(&a, &b),
+        &matmul_blocked(&a, &b, pool),
+    );
+
+    let bt = gen(n, k, 3);
+    assert_bitwise_eq(
+        &format!("{label} nt {m}x{k}x{n}"),
+        &matmul_nt_serial(&a, &bt),
+        &matmul_nt_blocked(&a, &bt, pool),
+    );
+
+    let at = gen(k, m, 4);
+    assert_bitwise_eq(
+        &format!("{label} tn {m}x{k}x{n}"),
+        &matmul_tn_serial(&at, &b),
+        &matmul_tn_blocked(&at, &b, pool),
+    );
+}
+
+/// Shapes chosen to hit every remainder path in the packing and micro-kernel:
+/// degenerate dims, sizes just off the register tile (MR=4, NR=8), sizes
+/// straddling the cache-block boundaries, and extreme aspect ratios.
+fn adversarial_shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (1, 17, 1),
+        (2, 3, 5),
+        (3, 1, 9),           // k=1: single multiply, no accumulation chain
+        (4, 8, 8),           // exactly one register tile
+        (5, 9, 11),          // one past the register tile in every dim
+        (7, 13, 23),         // primes: nothing divides anything
+        (BLOCK_M + 1, BLOCK_K + 2, BLOCK_N + 3),
+        (65, 130, 97),
+        (BLOCK_M, 7, BLOCK_N),   // thin k: packing dominated by remainders
+        (1, 300, 500),           // single-row C
+        (500, 300, 1),           // single-column C
+        (3, 1024, 4),            // tall accumulation, tiny output
+        (190, 5, 6),             // tall-skinny A
+        (6, 5, 190),             // short-wide B
+    ]
+}
+
+#[test]
+fn blocked_matches_serial_bitwise_on_adversarial_shapes() {
+    let pool = ThreadPool::new(4);
+    for (m, k, n) in adversarial_shapes() {
+        check_shape(m, k, n, &pool, "adversarial");
+    }
+}
+
+#[test]
+fn blocked_is_bitwise_deterministic_across_thread_counts() {
+    // Big enough for several row-block tasks (m > 2 * BLOCK_M) with remainder,
+    // so different thread counts genuinely interleave differently.
+    let (m, k, n) = (2 * BLOCK_M + 37, 75, 61);
+    let a = gen(m, k, 10);
+    let b = gen(k, n, 11);
+    let bt = gen(n, k, 12);
+    let at = gen(k, m, 13);
+
+    let reference = (matmul_serial(&a, &b), matmul_nt_serial(&a, &bt), matmul_tn_serial(&at, &b));
+    for threads in [1, 2, 7, 16] {
+        let pool = ThreadPool::new(threads);
+        let label = format!("threads={threads}");
+        assert_bitwise_eq(&format!("{label} nn"), &reference.0, &matmul_blocked(&a, &b, &pool));
+        assert_bitwise_eq(&format!("{label} nt"), &reference.1, &matmul_nt_blocked(&a, &bt, &pool));
+        assert_bitwise_eq(&format!("{label} tn"), &reference.2, &matmul_tn_blocked(&at, &b, &pool));
+    }
+}
+
+#[test]
+fn blocked_matches_serial_with_special_values() {
+    // NaN/inf placed mid-matrix must flow through packing (including the
+    // zero-padded lanes) without contaminating neighbouring outputs.
+    let m = 9;
+    let k = 21;
+    let n = 13;
+    let mut a = gen(m, k, 20);
+    let mut b = gen(k, n, 21);
+    a.data_mut()[k + 3] = f32::NAN;
+    a.data_mut()[2 * k + 5] = f32::INFINITY;
+    b.data_mut()[4 * n + 2] = f32::NEG_INFINITY;
+    b.data_mut()[7 * n + 9] = 0.0;
+
+    let pool = ThreadPool::new(3);
+    let serial = matmul_serial(&a, &b);
+    let blocked = matmul_blocked(&a, &b, &pool);
+    assert_bitwise_eq("special-values nn", &serial, &blocked);
+    // Sanity: the NaN actually reached the output somewhere.
+    assert!(serial.data().iter().any(|v| v.is_nan()));
+}
+
+#[test]
+fn public_entry_points_match_serial_above_the_dispatch_threshold() {
+    // 96^3 is above BLOCKED_MIN_ELEMS, so the public fns take the blocked
+    // path through the global pool — results must still be bitwise serial.
+    let s = 96;
+    let a = gen(s, s, 30);
+    let b = gen(s, s, 31);
+    let bt = gen(s, s, 32);
+    assert_bitwise_eq(
+        "public nn",
+        &matmul_serial(&a, &b),
+        &tesseract_tensor::matmul::matmul(&a, &b),
+    );
+    assert_bitwise_eq(
+        "public nt",
+        &matmul_nt_serial(&a, &bt),
+        &tesseract_tensor::matmul::matmul_nt(&a, &bt),
+    );
+    assert_bitwise_eq(
+        "public tn",
+        &matmul_tn_serial(&a, &b),
+        &tesseract_tensor::matmul::matmul_tn(&a, &b),
+    );
+}

@@ -1,6 +1,10 @@
 //! Property-based tests (proptest) for the tensor substrate: algebraic
 //! identities of the kernels and structural invariants of the matrix type.
 
+// Gated behind the `proptest-tests` feature: run with
+//     cargo test -p <crate> --features proptest-tests
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use tesseract_tensor::matmul::{matmul, matmul_nt, matmul_tn};
 use tesseract_tensor::nn;

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 verification entry point (see ROADMAP.md). Everything runs
+# --offline: the workspace has no registry dependencies by construction
+# (DESIGN.md §5), so CI must prove it stays that way.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --workspace --release --offline
+
+echo "== test (offline) =="
+cargo test -q --workspace --offline
+
+echo "== gemm_sweep smoke (tiny sizes) =="
+cargo run -q --release --offline -p tesseract-bench --bin gemm_sweep -- \
+    --sizes 96,128 --reps 2 --out target/BENCH_kernels.smoke.json
+echo "ci.sh: OK"
