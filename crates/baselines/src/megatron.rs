@@ -10,11 +10,16 @@
 //! Weight blocks are carved from the same seeded global Xavier matrices as
 //! the serial reference and the Tesseract layers, so outputs are comparable
 //! across schemes.
+//!
+//! Every layer implements [`Module<T, MegatronWorld>`] — the same trait the
+//! Tesseract layers implement over [`tesseract_core::TesseractGrid`] — so
+//! optimizers and harnesses that are generic over the world type drive both
+//! schemes through one interface.
 
 use tesseract_comm::{CommGroup, Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
-use tesseract_core::layers::linear::ParamRef;
+use tesseract_core::module::{Module, ParamRef, Sequential, Tape};
 use tesseract_core::TransformerConfig;
 
 /// How a weight is split across the 1-D group.
@@ -50,7 +55,7 @@ pub struct MegatronLinear<T> {
     dw: T,
     bias: Option<T>,
     dbias: Option<T>,
-    cached_x: Option<T>,
+    tape: Tape<T>,
 }
 
 impl<T: TensorLike + Payload> MegatronLinear<T> {
@@ -85,12 +90,30 @@ impl<T: TensorLike + Payload> MegatronLinear<T> {
                 Split::Column => {
                     assert_eq!(out_i % p, 0, "column split needs p | out");
                     let w = out_i / p;
-                    blocks.push(T::init_xavier_block(in_features, out_i, 0, r * w, in_features, w, seed, pid));
+                    blocks.push(T::init_xavier_block(
+                        in_features,
+                        out_i,
+                        0,
+                        r * w,
+                        in_features,
+                        w,
+                        seed,
+                        pid,
+                    ));
                 }
                 Split::Row => {
                     assert_eq!(in_features % p, 0, "row split needs p | in");
                     let h = in_features / p;
-                    blocks.push(T::init_xavier_block(in_features, out_i, r * h, 0, h, out_i, seed, pid));
+                    blocks.push(T::init_xavier_block(
+                        in_features,
+                        out_i,
+                        r * h,
+                        0,
+                        h,
+                        out_i,
+                        seed,
+                        pid,
+                    ));
                 }
             }
         }
@@ -113,14 +136,20 @@ impl<T: TensorLike + Payload> MegatronLinear<T> {
             w,
             bias,
             dbias,
-            cached_x: None,
+            tape: Tape::new(),
         }
     }
 
+    pub fn weight(&self) -> &T {
+        &self.w
+    }
+}
+
+impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronLinear<T> {
     /// Column-parallel: `Y_local = X·W_local (+ b_local)`, no communication.
     /// Row-parallel: `Y = all_reduce(X_local·W_local) (+ b)`.
-    pub fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
-        self.cached_x = Some(x.clone());
+    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
+        self.tape.push(x.clone());
         let mut y = x.matmul(&self.w, &mut ctx.meter);
         if self.split == Split::Row {
             y = world.group.all_reduce(ctx, y);
@@ -134,8 +163,8 @@ impl<T: TensorLike + Payload> MegatronLinear<T> {
     /// Column-parallel: `dX = all_reduce(dY_local·W_localᵀ)`.
     /// Row-parallel: `dX_local = dY·W_localᵀ`, no communication (dY is
     /// replicated after the forward all-reduce).
-    pub fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
-        let x = self.cached_x.take().expect("backward without forward");
+    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+        let x = self.tape.pop("MegatronLinear");
         if let Some(db) = self.dbias.as_mut() {
             let local = dy.col_sums(&mut ctx.meter);
             db.add_assign(&local, &mut ctx.meter);
@@ -149,22 +178,19 @@ impl<T: TensorLike + Payload> MegatronLinear<T> {
         }
     }
 
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
         f(ParamRef { weight: &mut self.w, grad: &mut self.dw });
         if let (Some(b), Some(db)) = (self.bias.as_mut(), self.dbias.as_mut()) {
             f(ParamRef { weight: b, grad: db });
         }
     }
 
-    pub fn zero_grad(&mut self) {
+    fn zero_grad(&mut self) {
+        self.tape.debug_assert_balanced("MegatronLinear");
         self.dw = T::zeros(self.dw.rows(), self.dw.cols());
         if let Some(db) = self.dbias.as_mut() {
             *db = T::zeros(db.rows(), db.cols());
         }
-    }
-
-    pub fn weight(&self) -> &T {
-        &self.w
     }
 }
 
@@ -172,7 +198,7 @@ impl<T: TensorLike + Payload> MegatronLinear<T> {
 pub struct MegatronMlp<T> {
     pub fc1: MegatronLinear<T>,
     pub fc2: MegatronLinear<T>,
-    cached_pre: Option<T>,
+    tape: Tape<T>,
 }
 
 impl<T: TensorLike + Payload> MegatronMlp<T> {
@@ -185,32 +211,51 @@ impl<T: TensorLike + Payload> MegatronMlp<T> {
         param_id: u64,
     ) -> Self {
         Self {
-            fc1: MegatronLinear::new(world, Split::Column, hidden, mlp_hidden, with_bias, seed, param_id),
-            fc2: MegatronLinear::new(world, Split::Row, mlp_hidden, hidden, with_bias, seed, param_id + 1),
-            cached_pre: None,
+            fc1: MegatronLinear::new(
+                world,
+                Split::Column,
+                hidden,
+                mlp_hidden,
+                with_bias,
+                seed,
+                param_id,
+            ),
+            fc2: MegatronLinear::new(
+                world,
+                Split::Row,
+                mlp_hidden,
+                hidden,
+                with_bias,
+                seed,
+                param_id + 1,
+            ),
+            tape: Tape::new(),
         }
     }
+}
 
-    pub fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
+impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronMlp<T> {
+    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
         let pre = self.fc1.forward(world, ctx, x);
         let act = pre.gelu(&mut ctx.meter);
-        self.cached_pre = Some(pre);
+        self.tape.push(pre);
         self.fc2.forward(world, ctx, &act)
     }
 
-    pub fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
         let d_act = self.fc2.backward(world, ctx, dy);
-        let pre = self.cached_pre.take().expect("backward without forward");
+        let pre = self.tape.pop("MegatronMlp");
         let d_pre = pre.gelu_backward(&d_act, &mut ctx.meter);
         self.fc1.backward(world, ctx, &d_pre)
     }
 
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
         self.fc1.visit_params(f);
         self.fc2.visit_params(f);
     }
 
-    pub fn zero_grad(&mut self) {
+    fn zero_grad(&mut self) {
+        self.tape.debug_assert_balanced("MegatronMlp");
         self.fc1.zero_grad();
         self.fc2.zero_grad();
     }
@@ -230,7 +275,7 @@ pub struct MegatronAttention<T> {
     pub wqkv: MegatronLinear<T>,
     pub wo: MegatronLinear<T>,
     cfg: TransformerConfig,
-    cache: Vec<HeadCache<T>>,
+    tape: Tape<Vec<HeadCache<T>>>,
 }
 
 impl<T: TensorLike + Payload> MegatronAttention<T> {
@@ -252,10 +297,12 @@ impl<T: TensorLike + Payload> MegatronAttention<T> {
             seed,
         );
         let wo = MegatronLinear::new(world, Split::Row, h, h, with_bias, seed, param_id + 3);
-        Self { wqkv, wo, cfg, cache: Vec::new() }
+        Self { wqkv, wo, cfg, tape: Tape::new() }
     }
+}
 
-    pub fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
+impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronAttention<T> {
+    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
         let (s, hd) = (self.cfg.seq, self.cfg.head_dim());
         let b = x.rows() / s;
         let heads_local = self.cfg.heads / world.p;
@@ -265,7 +312,7 @@ impl<T: TensorLike + Payload> MegatronAttention<T> {
         let k_all = qkv.slice_cols(local_h, 2 * local_h, &mut ctx.meter);
         let v_all = qkv.slice_cols(2 * local_h, 3 * local_h, &mut ctx.meter);
         let scale = 1.0 / (hd as f32).sqrt();
-        self.cache.clear();
+        let mut caches = Vec::with_capacity(b * heads_local);
         let mut sample_outs = Vec::with_capacity(b);
         for si in 0..b {
             let (r0, r1) = (si * s, (si + 1) * s);
@@ -281,18 +328,20 @@ impl<T: TensorLike + Payload> MegatronAttention<T> {
                 let scores = qh.matmul_nt(&kh, &mut ctx.meter).scale(scale, &mut ctx.meter);
                 let attn = scores.softmax_rows(&mut ctx.meter);
                 head_outs.push(attn.matmul(&vh, &mut ctx.meter));
-                self.cache.push(HeadCache { q: qh, k: kh, v: vh, attn });
+                caches.push(HeadCache { q: qh, k: kh, v: vh, attn });
             }
             sample_outs.push(T::concat_cols(&head_outs, &mut ctx.meter));
         }
+        self.tape.push(caches);
         let merged = T::concat_rows(&sample_outs, &mut ctx.meter);
         self.wo.forward(world, ctx, &merged)
     }
 
-    pub fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
         let (s, hd) = (self.cfg.seq, self.cfg.head_dim());
         let heads_local = self.cfg.heads / world.p;
         let scale = 1.0 / (hd as f32).sqrt();
+        let caches = self.tape.pop("MegatronAttention");
         let d_merged = self.wo.backward(world, ctx, dy);
         let b = d_merged.rows() / s;
         let mut dq_rows = Vec::with_capacity(b);
@@ -305,7 +354,7 @@ impl<T: TensorLike + Payload> MegatronAttention<T> {
             let mut dk_heads = Vec::with_capacity(heads_local);
             let mut dv_heads = Vec::with_capacity(heads_local);
             for hi in 0..heads_local {
-                let cache = &self.cache[si * heads_local + hi];
+                let cache = &caches[si * heads_local + hi];
                 let (c0, c1) = (hi * hd, (hi + 1) * hd);
                 let d_out = d_sample.slice_cols(c0, c1, &mut ctx.meter);
                 let d_attn = d_out.matmul_nt(&cache.v, &mut ctx.meter);
@@ -322,7 +371,6 @@ impl<T: TensorLike + Payload> MegatronAttention<T> {
             dk_rows.push(T::concat_cols(&dk_heads, &mut ctx.meter));
             dv_rows.push(T::concat_cols(&dv_heads, &mut ctx.meter));
         }
-        self.cache.clear();
         let d_qkv = T::concat_cols(
             &[
                 T::concat_rows(&dq_rows, &mut ctx.meter),
@@ -334,12 +382,13 @@ impl<T: TensorLike + Payload> MegatronAttention<T> {
         self.wqkv.backward(world, ctx, &d_qkv)
     }
 
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
         self.wqkv.visit_params(f);
         self.wo.visit_params(f);
     }
 
-    pub fn zero_grad(&mut self) {
+    fn zero_grad(&mut self) {
+        self.tape.debug_assert_balanced("MegatronAttention");
         self.wqkv.zero_grad();
         self.wo.zero_grad();
     }
@@ -351,15 +400,19 @@ impl<T: TensorLike + Payload> MegatronAttention<T> {
 pub struct MegatronLayerNorm<T> {
     pub eps: f32,
     hidden: usize,
-    cache: Option<(T, T)>,
+    tape: Tape<(T, T)>,
 }
 
 impl<T: TensorLike + Payload> MegatronLayerNorm<T> {
     pub fn new(hidden: usize, eps: f32) -> Self {
-        Self { eps, hidden, cache: None }
+        Self { eps, hidden, tape: Tape::new() }
     }
+}
 
-    pub fn forward(&mut self, ctx: &mut RankCtx, x: &T) -> T {
+impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronLayerNorm<T> {
+    /// The norm is rank-local (activations are replicated), so the world is
+    /// unused — it is only here to satisfy the `Module` signature.
+    fn forward(&mut self, _world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
         let n = self.hidden as f32;
         assert_eq!(x.cols(), self.hidden);
         let s1 = x.row_sums(&mut ctx.meter);
@@ -369,12 +422,12 @@ impl<T: TensorLike + Payload> MegatronLayerNorm<T> {
         let var = s2.scale(1.0 / n, &mut ctx.meter).sub(&mean_sq, &mut ctx.meter);
         let inv_std = var.rsqrt_add(self.eps, &mut ctx.meter);
         let xhat = x.sub_colvec(&mean, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter);
-        self.cache = Some((xhat.clone(), inv_std));
+        self.tape.push((xhat.clone(), inv_std));
         xhat
     }
 
-    pub fn backward(&mut self, ctx: &mut RankCtx, dy: &T) -> T {
-        let (xhat, inv_std) = self.cache.take().expect("backward without forward");
+    fn backward(&mut self, _world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+        let (xhat, inv_std) = self.tape.pop("MegatronLayerNorm");
         let n = self.hidden as f32;
         let t1 = xhat.hadamard(dy, &mut ctx.meter).row_sums(&mut ctx.meter);
         let t2 = dy.row_sums(&mut ctx.meter);
@@ -383,6 +436,10 @@ impl<T: TensorLike + Payload> MegatronLayerNorm<T> {
             .add_colvec(&t2, &mut ctx.meter)
             .scale(1.0 / n, &mut ctx.meter);
         dy.sub(&correction, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter)
+    }
+
+    fn zero_grad(&mut self) {
+        self.tape.debug_assert_balanced("MegatronLayerNorm");
     }
 }
 
@@ -406,42 +463,54 @@ impl<T: TensorLike + Payload> MegatronTransformerLayer<T> {
             ln1: MegatronLayerNorm::new(cfg.hidden, cfg.eps),
             attn: MegatronAttention::new(world, cfg, with_bias, seed, param_id),
             ln2: MegatronLayerNorm::new(cfg.hidden, cfg.eps),
-            mlp: MegatronMlp::new(world, cfg.hidden, cfg.mlp_hidden(), with_bias, seed, param_id + 4),
+            mlp: MegatronMlp::new(
+                world,
+                cfg.hidden,
+                cfg.mlp_hidden(),
+                with_bias,
+                seed,
+                param_id + 4,
+            ),
         }
     }
+}
 
-    pub fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
-        let a = self.ln1.forward(ctx, x);
+impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronTransformerLayer<T> {
+    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
+        let a = self.ln1.forward(world, ctx, x);
         let b = self.attn.forward(world, ctx, &a);
         let x1 = x.add(&b, &mut ctx.meter);
-        let c = self.ln2.forward(ctx, &x1);
+        let c = self.ln2.forward(world, ctx, &x1);
         let d = self.mlp.forward(world, ctx, &c);
         x1.add(&d, &mut ctx.meter)
     }
 
-    pub fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
         let d_mlp_in = self.mlp.backward(world, ctx, dy);
-        let d_x1_from_ln2 = self.ln2.backward(ctx, &d_mlp_in);
+        let d_x1_from_ln2 = self.ln2.backward(world, ctx, &d_mlp_in);
         let d_x1 = dy.add(&d_x1_from_ln2, &mut ctx.meter);
         let d_attn_in = self.attn.backward(world, ctx, &d_x1);
-        let d_x_from_ln1 = self.ln1.backward(ctx, &d_attn_in);
+        let d_x_from_ln1 = self.ln1.backward(world, ctx, &d_attn_in);
         d_x1.add(&d_x_from_ln1, &mut ctx.meter)
     }
 
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
         self.attn.visit_params(f);
         self.mlp.visit_params(f);
     }
 
-    pub fn zero_grad(&mut self) {
+    fn zero_grad(&mut self) {
+        self.ln1.zero_grad();
         self.attn.zero_grad();
+        self.ln2.zero_grad();
         self.mlp.zero_grad();
     }
 }
 
-/// A stack of Megatron Transformer layers.
+/// A stack of Megatron Transformer layers, composed as a [`Sequential`]
+/// over the 1-D world.
 pub struct MegatronTransformer<T> {
-    pub layers: Vec<MegatronTransformerLayer<T>>,
+    pub layers: Sequential<T, MegatronWorld>,
     pub cfg: TransformerConfig,
 }
 
@@ -453,39 +522,34 @@ impl<T: TensorLike + Payload> MegatronTransformer<T> {
         seed: u64,
         base_param_id: u64,
     ) -> Self {
-        let layers = (0..cfg.layers)
-            .map(|l| {
-                MegatronTransformerLayer::new(
-                    world,
-                    cfg,
-                    with_bias,
-                    seed,
-                    base_param_id + l as u64 * tesseract_core::layers::PARAM_IDS_PER_LAYER,
-                )
-            })
-            .collect();
+        let mut layers = Sequential::new();
+        for l in 0..cfg.layers {
+            layers.push_boxed(Box::new(MegatronTransformerLayer::new(
+                world,
+                cfg,
+                with_bias,
+                seed,
+                base_param_id + l as u64 * tesseract_core::layers::PARAM_IDS_PER_LAYER,
+            )));
+        }
         Self { layers, cfg }
     }
+}
 
-    pub fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
-            h = layer.forward(world, ctx, &h);
-        }
-        h
+impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronTransformer<T> {
+    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
+        self.layers.forward(world, ctx, x)
     }
 
-    pub fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
-        let mut g = dy.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(world, ctx, &g);
-        }
-        g
+    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+        self.layers.backward(world, ctx, dy)
     }
 
-    pub fn zero_grad(&mut self) {
-        for layer in &mut self.layers {
-            layer.zero_grad();
-        }
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        self.layers.visit_params(f);
+    }
+
+    fn zero_grad(&mut self) {
+        self.layers.zero_grad();
     }
 }

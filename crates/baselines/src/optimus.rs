@@ -10,7 +10,7 @@
 //! its own type so experiment code reads naturally.
 
 use tesseract_comm::{Payload, RankCtx};
-use tesseract_core::layers::linear::ParamRef;
+use tesseract_core::module::{Module, ParamRef};
 use tesseract_core::{GridShape, TesseractGrid, TesseractTransformer, TransformerConfig};
 use tesseract_tensor::TensorLike;
 
@@ -37,20 +37,22 @@ impl<T: TensorLike + Payload> OptimusTransformer<T> {
         assert_eq!(grid.shape.d, 1, "Optimus is the 2-D (d = 1) scheme");
         Self { inner: TesseractTransformer::new(ctx, grid, cfg, with_bias, seed, base_param_id) }
     }
+}
 
-    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+impl<T: TensorLike + Payload> Module<T> for OptimusTransformer<T> {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
         self.inner.forward(grid, ctx, x)
     }
 
-    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
         self.inner.backward(grid, ctx, dy)
     }
 
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
         self.inner.visit_params(f);
     }
 
-    pub fn zero_grad(&mut self) {
+    fn zero_grad(&mut self) {
         self.inner.zero_grad();
     }
 }

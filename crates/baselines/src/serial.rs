@@ -202,7 +202,13 @@ pub struct SerialMlp {
 }
 
 impl SerialMlp {
-    pub fn new(hidden: usize, mlp_hidden: usize, with_bias: bool, seed: u64, param_id: u64) -> Self {
+    pub fn new(
+        hidden: usize,
+        mlp_hidden: usize,
+        with_bias: bool,
+        seed: u64,
+        param_id: u64,
+    ) -> Self {
         Self {
             fc1: SerialLinear::new(hidden, mlp_hidden, with_bias, seed, param_id),
             fc2: SerialLinear::new(mlp_hidden, hidden, with_bias, seed, param_id + 1),
@@ -364,7 +370,15 @@ mod tests {
 
     #[test]
     fn transformer_layer_backward_matches_finite_difference() {
-        let cfg = TransformerConfig { batch: 2, seq: 3, hidden: 8, heads: 2, mlp_ratio: 2, layers: 1, eps: 1e-5 };
+        let cfg = TransformerConfig {
+            batch: 2,
+            seq: 3,
+            hidden: 8,
+            heads: 2,
+            mlp_ratio: 2,
+            layers: 1,
+            eps: 1e-5,
+        };
         let x = random(cfg.rows(), cfg.hidden, 3);
         let dy = random(cfg.rows(), cfg.hidden, 4);
         let mut layer = SerialTransformerLayer::new(cfg, true, 11, 0);

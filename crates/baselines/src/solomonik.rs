@@ -89,10 +89,8 @@ mod tests {
             .run(|ctx| {
                 let grid = solomonik_grid(ctx, q, d, 0);
                 let (i, j, k) = grid.coords;
-                let a_loc =
-                    (k == 0).then(|| DenseTensor::from_matrix(b_block(a, shape2d, i, j)));
-                let b_loc =
-                    (k == 0).then(|| DenseTensor::from_matrix(b_block(b, shape2d, i, j)));
+                let a_loc = (k == 0).then(|| DenseTensor::from_matrix(b_block(a, shape2d, i, j)));
+                let b_loc = (k == 0).then(|| DenseTensor::from_matrix(b_block(b, shape2d, i, j)));
                 solomonik_matmul(&grid, ctx, a_loc, b_loc).into_matrix()
             })
             .results

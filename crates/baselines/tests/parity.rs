@@ -10,8 +10,10 @@ use tesseract_baselines::megatron::{MegatronTransformerLayer, MegatronWorld};
 use tesseract_baselines::optimus::OptimusTransformer;
 use tesseract_baselines::serial::{SerialTransformer, SerialTransformerLayer};
 use tesseract_comm::Cluster;
-use tesseract_core::partition::{a_block, b_block, combine_c};
-use tesseract_core::{GridShape, TesseractGrid, TesseractTransformerLayer, TransformerConfig};
+use tesseract_core::partition::{a_block, combine_c};
+use tesseract_core::{
+    GridShape, Module, TesseractGrid, TesseractTransformerLayer, TransformerConfig,
+};
 use tesseract_tensor::{assert_slices_close, DenseTensor, Matrix, Xoshiro256StarStar};
 
 const SEED: u64 = 20220829; // ICPP '22 conference date.
@@ -128,8 +130,7 @@ fn megatron_layer_matches_serial() {
     for p in [2usize, 4] {
         let out = Cluster::a100(p).run(|ctx| {
             let world = MegatronWorld::new(ctx, (0..p).collect());
-            let mut layer =
-                MegatronTransformerLayer::<DenseTensor>::new(&world, c, true, SEED, 0);
+            let mut layer = MegatronTransformerLayer::<DenseTensor>::new(&world, c, true, SEED, 0);
             let x_full = DenseTensor::from_matrix(x.clone());
             let dy_full = DenseTensor::from_matrix(dy.clone());
             let y = layer.forward(&world, ctx, &x_full);

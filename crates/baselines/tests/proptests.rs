@@ -12,7 +12,7 @@ use tesseract_baselines::megatron::{MegatronLinear, MegatronWorld, Split};
 use tesseract_baselines::summa::{summa_matmul, summa_mesh};
 use tesseract_comm::Cluster;
 use tesseract_core::partition::{b_block, combine_b};
-use tesseract_core::GridShape;
+use tesseract_core::{GridShape, Module};
 use tesseract_tensor::{
     init::global_xavier, matmul::matmul, max_rel_diff, DenseTensor, Matrix, TensorLike,
     Xoshiro256StarStar,

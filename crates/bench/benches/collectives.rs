@@ -32,8 +32,8 @@ fn bench_broadcast_chain(c: &mut Criterion) {
             Cluster::a100(4).run(|ctx| {
                 let g = ctx.world_group();
                 for _ in 0..16 {
-                    let payload = (ctx.rank == 0)
-                        .then(|| DenseTensor::from_matrix(Matrix::full(8, 8, 1.0)));
+                    let payload =
+                        (ctx.rank == 0).then(|| DenseTensor::from_matrix(Matrix::full(8, 8, 1.0)));
                     black_box(g.broadcast(ctx, 0, payload));
                 }
             })

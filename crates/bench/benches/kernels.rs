@@ -76,12 +76,9 @@ fn bench_nn_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("nn");
     group.sample_size(10);
     let x = random(64, 256, 3);
-    group.bench_function("softmax_rows_64x256", |b| {
-        b.iter(|| nn::softmax_rows(black_box(&x)))
-    });
-    group.bench_function("layernorm_64x256", |b| {
-        b.iter(|| nn::layernorm_rows(black_box(&x), 1e-5))
-    });
+    group.bench_function("softmax_rows_64x256", |b| b.iter(|| nn::softmax_rows(black_box(&x))));
+    group
+        .bench_function("layernorm_64x256", |b| b.iter(|| nn::layernorm_rows(black_box(&x), 1e-5)));
     group.bench_function("gelu_64x256", |b| b.iter(|| nn::gelu_matrix(black_box(&x))));
     group.finish();
 }

@@ -9,7 +9,15 @@ use tesseract_bench::timing::{time_megatron, time_tesseract};
 use tesseract_core::{GridShape, TransformerConfig};
 
 fn small_cfg() -> TransformerConfig {
-    TransformerConfig { batch: 8, seq: 128, hidden: 512, heads: 8, mlp_ratio: 4, layers: 2, eps: 1e-5 }
+    TransformerConfig {
+        batch: 8,
+        seq: 128,
+        hidden: 512,
+        heads: 8,
+        mlp_ratio: 4,
+        layers: 2,
+        eps: 1e-5,
+    }
 }
 
 fn bench_shadow_steps(c: &mut Criterion) {
@@ -21,9 +29,7 @@ fn bench_shadow_steps(c: &mut Criterion) {
     group.bench_function("tesseract_4x4x1", |b| {
         b.iter(|| black_box(time_tesseract(GridShape::new(4, 1), small_cfg())))
     });
-    group.bench_function("megatron_8", |b| {
-        b.iter(|| black_box(time_megatron(8, small_cfg())))
-    });
+    group.bench_function("megatron_8", |b| b.iter(|| black_box(time_megatron(8, small_cfg()))));
     group.finish();
 }
 

@@ -9,12 +9,11 @@
 //! Run: `cargo run --release -p tesseract-bench --bin ablation_depth`
 
 use tesseract_comm::{Cluster, CostParams, Topology};
-use tesseract_core::{GridShape, TesseractGrid, TesseractTransformer, TransformerConfig};
+use tesseract_core::{GridShape, Module, TesseractGrid, TesseractTransformer, TransformerConfig};
 use tesseract_tensor::ShadowTensor;
 
 fn run(shape: GridShape, cfg: TransformerConfig, params: CostParams) -> (f64, f64, f64) {
-    let cluster =
-        Cluster { world: shape.size(), topology: Topology::meluxina(), params };
+    let cluster = Cluster { world: shape.size(), topology: Topology::meluxina(), params };
     let out = cluster.run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let mut model = TesseractTransformer::<ShadowTensor>::new(ctx, &grid, cfg, true, 0, 0);
@@ -37,7 +36,10 @@ fn main() {
         layers: 4,
         eps: 1e-5,
     };
-    println!("batch {} seq {} hidden {} heads {} layers {}\n", cfg.batch, cfg.seq, cfg.hidden, cfg.heads, cfg.layers);
+    println!(
+        "batch {} seq {} hidden {} heads {} layers {}\n",
+        cfg.batch, cfg.seq, cfg.hidden, cfg.heads, cfg.layers
+    );
     println!("| arrangement | d | total (s) | compute (s) | comm (s) | comm share |");
     println!("|---|---|---|---|---|---|");
     let mut totals = Vec::new();

@@ -51,7 +51,12 @@ fn main() {
         (ctx.rank, ctx.clock())
     });
 
-    println!("\none GPipe step: {} microbatches x batch {} (global batch {})", microbatches, cfg.batch, microbatches * cfg.batch * shape.dp);
+    println!(
+        "\none GPipe step: {} microbatches x batch {} (global batch {})",
+        microbatches,
+        cfg.batch,
+        microbatches * cfg.batch * shape.dp
+    );
     println!("simulated makespan: {:.4} s", out.makespan());
     println!("max compute time:   {:.4} s", out.max_compute_time());
     println!("max comm+wait time: {:.4} s (includes the pipeline bubble)", out.max_comm_time());

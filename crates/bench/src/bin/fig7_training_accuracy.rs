@@ -36,6 +36,7 @@ fn main() {
         weight_decay: 0.3,
         seed: 42,
         data_seed: 20220829,
+        clip_grad_norm: None,
     };
     let ds = SyntheticVisionDataset::new(vcfg.classes, vcfg.body.seq, vcfg.patch_dim, 0.35, 7);
 
@@ -77,7 +78,11 @@ fn main() {
             .map(|(x, y)| (x.accuracy - y.accuracy).abs())
             .fold(0.0f32, f32::max)
     };
-    println!("\nmax |accuracy gap| vs single GPU: [2,2,1] = {:.4}, [2,2,2] = {:.4}", spread(&serial, &t221), spread(&serial, &t222));
+    println!(
+        "\nmax |accuracy gap| vs single GPU: [2,2,1] = {:.4}, [2,2,2] = {:.4}",
+        spread(&serial, &t221),
+        spread(&serial, &t222)
+    );
     println!(
         "final accuracy: single {:.4}, [2,2,1] {:.4}, [2,2,2] {:.4}",
         serial.final_accuracy(),

@@ -83,9 +83,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next().unwrap_or_else(|| panic!("{name} needs a value")).clone()
-        };
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value")).clone();
         match arg.as_str() {
             "--sizes" => {
                 sizes = value("--sizes")
@@ -101,10 +100,7 @@ fn main() {
 
     let single = ThreadPool::new(1);
     let global = pool::global();
-    println!(
-        "gemm_sweep: sizes {sizes:?}, {reps} reps, pool of {} thread(s)\n",
-        global.threads()
-    );
+    println!("gemm_sweep: sizes {sizes:?}, {reps} reps, pool of {} thread(s)\n", global.threads());
     println!(
         "| n    | seed ns      | serial ns    | blocked1 ns  | blocked ns   | serial GF/s | blocked GF/s | serial x | blk1 x | blk x |"
     );
@@ -168,7 +164,6 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, &json)
-        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("\nwrote {out_path}");
 }

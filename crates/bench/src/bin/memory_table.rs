@@ -10,7 +10,7 @@ use tesseract_baselines::megatron::{MegatronTransformer, MegatronWorld};
 use tesseract_comm::Cluster;
 use tesseract_core::analysis::{memory_megatron, memory_tesseract};
 use tesseract_core::partition::{a_block_shape, b_block_shape};
-use tesseract_core::{GridShape, TesseractGrid, TesseractTransformer, TransformerConfig};
+use tesseract_core::{GridShape, Module, TesseractGrid, TesseractTransformer, TransformerConfig};
 use tesseract_tensor::ShadowTensor;
 
 fn main() {
@@ -79,7 +79,11 @@ fn main() {
             ctx.flush_compute();
         });
         let max_bytes = out.reports.iter().map(|r| r.bytes_allocated).max().unwrap();
-        println!("| Tesseract | {} | [{q},{q},{d}] | {:.1} |", shape.size(), max_bytes as f64 / 1e6);
+        println!(
+            "| Tesseract | {} | [{q},{q},{d}] | {:.1} |",
+            shape.size(),
+            max_bytes as f64 / 1e6
+        );
     }
     for p in [4usize, 64] {
         let out = Cluster::a100(p).run(|ctx| {

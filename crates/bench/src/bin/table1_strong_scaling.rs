@@ -88,10 +88,7 @@ fn main() {
     let m64 = row(&rows, "[64]");
     let o88 = row(&rows, "[8,8]");
     println!("### §4.1 ratio checks (paper values in parentheses)\n");
-    println!(
-        "- [8,8,1] fwd / [4,4,4] fwd = {:.4} (paper: 2.0702)",
-        t881.forward / t444.forward
-    );
+    println!("- [8,8,1] fwd / [4,4,4] fwd = {:.4} (paper: 2.0702)", t881.forward / t444.forward);
     println!(
         "- Megatron[64] fwd / Tesseract[4,4,4] fwd = {:.4} (paper: 1.3751)",
         m64.forward / t444.forward

@@ -84,10 +84,7 @@ fn main() {
     let m64 = row(&rows, "[64]");
     let o88 = row(&rows, "[8,8]");
     println!("### §4.2 ratio checks (paper values in parentheses)\n");
-    println!(
-        "- [8,8,1] fwd / [4,4,4] fwd = {:.4} (paper: 1.5576)",
-        t881.forward / t444.forward
-    );
+    println!("- [8,8,1] fwd / [4,4,4] fwd = {:.4} (paper: 1.5576)", t881.forward / t444.forward);
     println!(
         "- Tesseract[4,4,4] throughput / Megatron[64] = {:.4} (paper: 3.3746)",
         t444.throughput / m64.throughput

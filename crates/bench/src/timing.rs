@@ -9,7 +9,7 @@
 
 use tesseract_baselines::megatron::{MegatronTransformer, MegatronWorld};
 use tesseract_comm::{Cluster, CommStats};
-use tesseract_core::{GridShape, TesseractGrid, TesseractTransformer, TransformerConfig};
+use tesseract_core::{GridShape, Module, TesseractGrid, TesseractTransformer, TransformerConfig};
 use tesseract_tensor::ShadowTensor;
 
 /// Virtual-time measurement of one fwd+bwd batch.
@@ -142,11 +142,7 @@ mod tests {
 
     #[test]
     fn throughput_and_inference_definitions() {
-        let t = SchemeTiming {
-            forward: 0.1,
-            backward: 0.3,
-            comm: CommStats::default(),
-        };
+        let t = SchemeTiming { forward: 0.1, backward: 0.3, comm: CommStats::default() };
         assert!((t.throughput(12) - 30.0).abs() < 1e-9);
         assert!((t.inference(12) - 120.0).abs() < 1e-9);
     }

@@ -77,8 +77,7 @@ impl Cluster {
                     let topology = self.topology;
                     let world = self.world;
                     scope.spawn(move || {
-                        let mut ctx =
-                            RankCtx::new(rank, world, params, topology, fabric, stats);
+                        let mut ctx = RankCtx::new(rank, world, params, topology, fabric, stats);
                         let result = f(&mut ctx);
                         (result, ctx.report())
                     })
@@ -145,8 +144,8 @@ mod tests {
         let cluster = Cluster::a100(3);
         let out = cluster.run(|ctx| {
             let world = ctx.world_group();
-            let payload = (ctx.rank == 1)
-                .then(|| DenseTensor::from_matrix(Matrix::full(1, 4, 7.0)));
+            let payload =
+                (ctx.rank == 1).then(|| DenseTensor::from_matrix(Matrix::full(1, 4, 7.0)));
             let got = world.broadcast(ctx, 1, payload);
             got.matrix().sum()
         });

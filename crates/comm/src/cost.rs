@@ -163,9 +163,7 @@ impl CostParams {
         match op {
             CollectiveOp::Broadcast | CollectiveOp::Reduce => b * (n64 - 1),
             CollectiveOp::AllReduce => 2 * b * (n64 - 1),
-            CollectiveOp::AllGather | CollectiveOp::Gather | CollectiveOp::Scatter => {
-                b * (n64 - 1)
-            }
+            CollectiveOp::AllGather | CollectiveOp::Gather | CollectiveOp::Scatter => b * (n64 - 1),
             CollectiveOp::Shift => b * n64,
             CollectiveOp::Barrier => 0,
             CollectiveOp::SendRecv => b,

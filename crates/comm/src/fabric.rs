@@ -17,18 +17,30 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
 /// How long a rank waits at a rendezvous before declaring the run wedged.
 /// Overridable via `TESSERACT_RENDEZVOUS_TIMEOUT_SECS` (tests that inject
-/// failures shrink it so the surviving ranks fail fast).
+/// failures shrink it so the surviving ranks fail fast). Read once and
+/// cached — every collective wait consults it, and re-reading the
+/// environment on a hot path is both slow and racy. A set-but-unparsable
+/// value panics instead of silently falling back to the default: a test
+/// that *meant* to fail fast would otherwise hang for two minutes.
 fn rendezvous_timeout() -> Duration {
-    let secs = std::env::var("TESSERACT_RENDEZVOUS_TIMEOUT_SECS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(120);
-    Duration::from_secs(secs)
+    static TIMEOUT: OnceLock<Duration> = OnceLock::new();
+    *TIMEOUT.get_or_init(|| {
+        let secs = match std::env::var("TESSERACT_RENDEZVOUS_TIMEOUT_SECS") {
+            Ok(v) => v.parse().unwrap_or_else(|_| {
+                panic!(
+                    "TESSERACT_RENDEZVOUS_TIMEOUT_SECS must be a non-negative \
+                     integer number of seconds, got {v:?}"
+                )
+            }),
+            Err(_) => 120,
+        };
+        Duration::from_secs(secs)
+    })
 }
 
 type SlotKey = (u64, u64);
@@ -102,11 +114,7 @@ impl Fabric {
         let mut state = lock_fabric(&self.state);
         {
             let slot = state.slots.entry(key).or_insert_with(|| Slot::new(n));
-            assert_eq!(
-                slot.deposits.len(),
-                n,
-                "group size disagreement at rendezvous {key:?}"
-            );
+            assert_eq!(slot.deposits.len(), n, "group size disagreement at rendezvous {key:?}");
             assert!(
                 slot.deposits[my_index].is_none() && slot.result.is_none(),
                 "member {my_index} deposited twice at rendezvous {key:?}"

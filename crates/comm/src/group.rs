@@ -226,12 +226,7 @@ impl CommGroup {
     }
 
     /// Root provides one payload per member; each member receives its own.
-    pub fn scatter<P: Payload>(
-        &self,
-        ctx: &mut RankCtx,
-        root: usize,
-        parts: Option<Vec<P>>,
-    ) -> P {
+    pub fn scatter<P: Payload>(&self, ctx: &mut RankCtx, root: usize, parts: Option<Vec<P>>) -> P {
         if let Some(ref p) = parts {
             assert_eq!(p.len(), self.size(), "scatter: need one part per member");
         }
@@ -281,8 +276,7 @@ impl CommGroup {
         let chan = (self.id, src, self.my_index, tag);
         let (send_vt, payload): (f64, P) = ctx.fabric().recv(chan);
         let link = ctx.topology.link_between(self.ranks[src], self.ranks[self.my_index]);
-        let cost =
-            ctx.params.collective_time(CollectiveOp::SendRecv, 2, payload.wire_size(), link);
+        let cost = ctx.params.collective_time(CollectiveOp::SendRecv, 2, payload.wire_size(), link);
         let ready = send_vt.max(ctx.clock());
         ctx.advance_comm(ready + cost);
         payload

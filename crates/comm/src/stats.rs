@@ -43,9 +43,7 @@ impl StatsCollector {
 
     /// Snapshot of all op totals.
     pub fn snapshot(&self) -> CommStats {
-        CommStats {
-            per_op: self.inner.lock().unwrap_or_else(PoisonError::into_inner).clone(),
-        }
+        CommStats { per_op: self.inner.lock().unwrap_or_else(PoisonError::into_inner).clone() }
     }
 }
 

@@ -122,11 +122,7 @@ mod tests {
     fn transmission_advantage_grows_with_q() {
         let at = |q: usize| {
             let p = q * q * q;
-            (
-                transmissions_cannon(p),
-                transmissions_25d(p),
-                transmissions_tesseract_cube(p),
-            )
+            (transmissions_cannon(p), transmissions_25d(p), transmissions_tesseract_cube(p))
         };
         let mut prev_cannon_ratio = 0.0;
         let mut prev_25d_ratio = 0.0;

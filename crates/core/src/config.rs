@@ -47,7 +47,13 @@ impl TransformerConfig {
     /// (whole samples per rank), `q | n` (whole heads per rank) and
     /// `q | h/n`-free constraints via `q | h` and `q | 4h`.
     pub fn validate_for_grid(&self, q: usize, d: usize) {
-        assert_eq!(self.batch % (q * d), 0, "batch {} not divisible by q*d = {}", self.batch, q * d);
+        assert_eq!(
+            self.batch % (q * d),
+            0,
+            "batch {} not divisible by q*d = {}",
+            self.batch,
+            q * d
+        );
         assert_eq!(self.heads % q, 0, "heads {} not divisible by q = {q}", self.heads);
         assert_eq!(self.hidden % q, 0, "hidden {} not divisible by q = {q}", self.hidden);
         assert_eq!(

@@ -90,8 +90,10 @@ impl TesseractGrid {
             base + p
         );
         let (i, j, k) = shape.coords_of(ctx.rank - base);
-        let row_ranks: Vec<usize> = (0..shape.q).map(|jj| base + shape.offset_of(i, jj, k)).collect();
-        let col_ranks: Vec<usize> = (0..shape.q).map(|ii| base + shape.offset_of(ii, j, k)).collect();
+        let row_ranks: Vec<usize> =
+            (0..shape.q).map(|jj| base + shape.offset_of(i, jj, k)).collect();
+        let col_ranks: Vec<usize> =
+            (0..shape.q).map(|ii| base + shape.offset_of(ii, j, k)).collect();
         let depth_ranks: Vec<usize> =
             (0..shape.d).map(|kk| base + shape.offset_of(i, j, kk)).collect();
         Self {
@@ -172,12 +174,7 @@ mod tests {
         let shape = GridShape::new(2, 2);
         let out = Cluster::a100(shape.size()).run(|ctx| {
             let g = TesseractGrid::new(ctx, shape, 0);
-            (
-                g.coords,
-                g.row.ranks().to_vec(),
-                g.col.ranks().to_vec(),
-                g.depth.ranks().to_vec(),
-            )
+            (g.coords, g.row.ranks().to_vec(), g.col.ranks().to_vec(), g.depth.ranks().to_vec())
         });
         // Rank 0 = (0,0,0): row {0,1}, col {0,2}, depth {0,4}.
         let (c0, r0, col0, d0) = &out.results[0];

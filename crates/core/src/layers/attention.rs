@@ -13,7 +13,8 @@ use tesseract_tensor::TensorLike;
 
 use crate::config::TransformerConfig;
 use crate::grid::TesseractGrid;
-use crate::layers::linear::{ParamRef, TesseractLinear};
+use crate::layers::linear::TesseractLinear;
+use crate::module::{Module, ParamRef, Tape};
 
 struct HeadCache<T> {
     q: T,
@@ -27,8 +28,8 @@ pub struct TesseractAttention<T> {
     pub wqkv: TesseractLinear<T>,
     pub wo: TesseractLinear<T>,
     cfg: TransformerConfig,
-    /// LIFO of per-microbatch head caches (see linear.rs on pipelining).
-    cache: Vec<Vec<HeadCache<T>>>,
+    /// Tape of per-microbatch head caches (see [`Tape`] on pipelining).
+    tape: Tape<Vec<HeadCache<T>>>,
 }
 
 impl<T: TensorLike + Payload> TesseractAttention<T> {
@@ -54,7 +55,7 @@ impl<T: TensorLike + Payload> TesseractAttention<T> {
             seed,
         );
         let wo = TesseractLinear::new(ctx, grid, h, h, with_bias, seed, param_id + 3);
-        Self { wqkv, wo, cfg, cache: Vec::new() }
+        Self { wqkv, wo, cfg, tape: Tape::new() }
     }
 
     /// Rows per rank = local samples × sequence length.
@@ -68,9 +69,11 @@ impl<T: TensorLike + Payload> TesseractAttention<T> {
     fn local_heads(&self, grid: &TesseractGrid) -> usize {
         self.cfg.heads / grid.shape.q
     }
+}
 
+impl<T: TensorLike + Payload> Module<T> for TesseractAttention<T> {
     /// Forward over the local activation block `[b/(dq)·s, h/q]`.
-    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
         let s = self.cfg.seq;
         let hd = self.cfg.head_dim();
         let samples = self.local_samples(grid);
@@ -106,13 +109,13 @@ impl<T: TensorLike + Payload> TesseractAttention<T> {
             }
             sample_outs.push(T::concat_cols(&head_outs, &mut ctx.meter));
         }
-        self.cache.push(caches);
+        self.tape.push(caches);
         let merged = T::concat_rows(&sample_outs, &mut ctx.meter);
         self.wo.forward(grid, ctx, &merged)
     }
 
     /// Backward; returns `dX` and accumulates projection gradients.
-    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
         let s = self.cfg.seq;
         let hd = self.cfg.head_dim();
         let samples = self.local_samples(grid);
@@ -120,7 +123,7 @@ impl<T: TensorLike + Payload> TesseractAttention<T> {
         let scale = 1.0 / (hd as f32).sqrt();
 
         let d_merged = self.wo.backward(grid, ctx, dy);
-        let caches = self.cache.pop().expect("backward without forward");
+        let caches = self.tape.pop("TesseractAttention");
         assert_eq!(caches.len(), samples * heads, "cache/shape mismatch in backward");
 
         let mut dq_rows = Vec::with_capacity(samples);
@@ -161,12 +164,13 @@ impl<T: TensorLike + Payload> TesseractAttention<T> {
         self.wqkv.backward(grid, ctx, &d_qkv)
     }
 
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
         self.wqkv.visit_params(f);
         self.wo.visit_params(f);
     }
 
-    pub fn zero_grad(&mut self) {
+    fn zero_grad(&mut self) {
+        self.tape.debug_assert_balanced("TesseractAttention");
         self.wqkv.zero_grad();
         self.wo.zero_grad();
     }

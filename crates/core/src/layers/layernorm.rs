@@ -4,12 +4,13 @@
 //! per-row statistics `ΣX` and `ΣX²` are computed locally and **all-reduced
 //! along the row** (one fused `[rows, 2]` all-reduce). The backward pass
 //! all-reduces `Σ X̂ᵢ(δJ/δX̂)ᵢ` and `Σ(δJ/δX̂)ᵢ` the same way and applies
-//! Eq. 14 with the cached `X̂` and `1/sqrt(Var+ε)`.
+//! Eq. 14 with the taped `X̂` and `1/sqrt(Var+ε)`.
 
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
 use crate::grid::TesseractGrid;
+use crate::module::{Module, ParamRef, Tape};
 
 /// Parameter-free distributed layer norm over the (globally split) hidden
 /// dimension.
@@ -17,17 +18,20 @@ pub struct TesseractLayerNorm<T> {
     /// Global hidden size `h` (local tensors have `h/q` columns).
     pub hidden_global: usize,
     pub eps: f32,
-    cache: Vec<(T, T)>, // LIFO of (x̂ local block, inv_std column vector)
+    /// Tape of (x̂ local block, inv_std column vector) per microbatch.
+    tape: Tape<(T, T)>,
 }
 
 impl<T: TensorLike + Payload> TesseractLayerNorm<T> {
     pub fn new(hidden_global: usize, eps: f32) -> Self {
-        Self { hidden_global, eps, cache: Vec::new() }
+        Self { hidden_global, eps, tape: Tape::new() }
     }
+}
 
+impl<T: TensorLike + Payload> Module<T> for TesseractLayerNorm<T> {
     /// Forward: `X̂ = (X − E[X]) / sqrt(Var[X] + ε)` with row-group
     /// all-reduced statistics.
-    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
         let n = self.hidden_global as f32;
         assert_eq!(
             x.cols() * grid.shape.q,
@@ -45,13 +49,13 @@ impl<T: TensorLike + Payload> TesseractLayerNorm<T> {
         let var = s2.scale(1.0 / n, &mut ctx.meter).sub(&mean_sq, &mut ctx.meter);
         let inv_std = var.rsqrt_add(self.eps, &mut ctx.meter);
         let xhat = x.sub_colvec(&mean, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter);
-        self.cache.push((xhat.clone(), inv_std));
+        self.tape.push((xhat.clone(), inv_std));
         xhat
     }
 
     /// Backward (Eq. 14): `dX = (dY − (X̂·Σ(X̂∘dY) + Σ dY)/n) ∘ inv_std`.
-    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
-        let (xhat, inv_std) = self.cache.pop().expect("backward without forward");
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+        let (xhat, inv_std) = self.tape.pop("TesseractLayerNorm");
         let n = self.hidden_global as f32;
         let t1 = xhat.hadamard(dy, &mut ctx.meter).row_sums(&mut ctx.meter);
         let t2 = dy.row_sums(&mut ctx.meter);
@@ -65,4 +69,12 @@ impl<T: TensorLike + Payload> TesseractLayerNorm<T> {
             .scale(1.0 / n, &mut ctx.meter);
         dy.sub(&correction, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter)
     }
+
+    // No parameters: the default (empty) visit_params applies.
+
+    fn zero_grad(&mut self) {
+        self.tape.debug_assert_balanced("TesseractLayerNorm");
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(ParamRef<'_, T>)) {}
 }

@@ -21,12 +21,9 @@ use tesseract_tensor::TensorLike;
 
 use crate::grid::TesseractGrid;
 use crate::mm::{tesseract_matmul, tesseract_matmul_nt, tesseract_matmul_tn};
-
-/// One (weight, gradient) pair exposed to optimizers.
-pub struct ParamRef<'a, T> {
-    pub weight: &'a mut T,
-    pub grad: &'a mut T,
-}
+use crate::module::{Module, Tape};
+// Historical home of `ParamRef`; re-exported so old import paths keep working.
+pub use crate::module::ParamRef;
 
 /// Tesseract column/row-blocked linear layer.
 pub struct TesseractLinear<T> {
@@ -37,10 +34,8 @@ pub struct TesseractLinear<T> {
     /// Bias block `[1, out/q]`, present only on row-0 ranks.
     bias: Option<T>,
     dbias: Option<T>,
-    /// LIFO stack of cached inputs: GPipe-style pipelining runs several
-    /// microbatch forwards before the matching backwards (in reverse
-    /// order), so caches push on forward and pop on backward.
-    cached_x: Vec<T>,
+    /// Microbatch activation tape (see [`Tape`] on GPipe LIFO ordering).
+    tape: Tape<T>,
     with_bias: bool,
 }
 
@@ -106,58 +101,8 @@ impl<T: TensorLike + Payload> TesseractLinear<T> {
             dw: T::zeros(in_local, out_local_total),
             bias,
             dbias,
-            cached_x: Vec::new(),
+            tape: Tape::new(),
             with_bias,
-        }
-    }
-
-    /// Forward: `Y = X·W (+ bias broadcast down the column)`. Caches `X`.
-    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
-        let mut y = tesseract_matmul(grid, ctx, x, &self.w);
-        if self.with_bias {
-            let b = grid.col.broadcast(ctx, 0, self.bias.clone());
-            y = y.add_rowvec(&b, &mut ctx.meter);
-        }
-        self.cached_x.push(x.clone());
-        y
-    }
-
-    /// Backward: returns `dX`; accumulates `dW` (and `dbias` on row 0).
-    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
-        let x = self.cached_x.pop().expect("backward without forward");
-        if self.with_bias {
-            let db_local = dy.col_sums(&mut ctx.meter);
-            let db = grid.col.reduce(ctx, 0, db_local);
-            if grid.i() == 0 {
-                let mut db = db.expect("row-0 rank receives bias gradient");
-                if grid.shape.d > 1 {
-                    db = grid.depth.all_reduce(ctx, db);
-                }
-                self.dbias
-                    .as_mut()
-                    .expect("row-0 rank holds bias")
-                    .add_assign(&db, &mut ctx.meter);
-            }
-        }
-        let dw = tesseract_matmul_tn(grid, ctx, &x, dy, true);
-        self.dw.add_assign(&dw, &mut ctx.meter);
-        tesseract_matmul_nt(grid, ctx, dy, &self.w)
-    }
-
-    /// Visits (weight, grad) pairs for the optimizer, in a deterministic
-    /// order. Row-0 ranks visit the bias too.
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
-        f(ParamRef { weight: &mut self.w, grad: &mut self.dw });
-        if let (Some(b), Some(db)) = (self.bias.as_mut(), self.dbias.as_mut()) {
-            f(ParamRef { weight: b, grad: db });
-        }
-    }
-
-    /// Zeroes accumulated gradients.
-    pub fn zero_grad(&mut self) {
-        self.dw = T::zeros(self.dw.rows(), self.dw.cols());
-        if let Some(db) = self.dbias.as_mut() {
-            *db = T::zeros(db.rows(), db.cols());
         }
     }
 
@@ -179,5 +124,54 @@ impl<T: TensorLike + Payload> TesseractLinear<T> {
     /// This rank's bias gradient, if it owns one.
     pub fn bias_grad(&self) -> Option<&T> {
         self.dbias.as_ref()
+    }
+}
+
+impl<T: TensorLike + Payload> Module<T> for TesseractLinear<T> {
+    /// Forward: `Y = X·W (+ bias broadcast down the column)`. Tapes `X`.
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+        let mut y = tesseract_matmul(grid, ctx, x, &self.w);
+        if self.with_bias {
+            let b = grid.col.broadcast(ctx, 0, self.bias.clone());
+            y = y.add_rowvec(&b, &mut ctx.meter);
+        }
+        self.tape.push(x.clone());
+        y
+    }
+
+    /// Backward: returns `dX`; accumulates `dW` (and `dbias` on row 0).
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+        let x = self.tape.pop("TesseractLinear");
+        if self.with_bias {
+            let db_local = dy.col_sums(&mut ctx.meter);
+            let db = grid.col.reduce(ctx, 0, db_local);
+            if grid.i() == 0 {
+                let mut db = db.expect("row-0 rank receives bias gradient");
+                if grid.shape.d > 1 {
+                    db = grid.depth.all_reduce(ctx, db);
+                }
+                self.dbias.as_mut().expect("row-0 rank holds bias").add_assign(&db, &mut ctx.meter);
+            }
+        }
+        let dw = tesseract_matmul_tn(grid, ctx, &x, dy, true);
+        self.dw.add_assign(&dw, &mut ctx.meter);
+        tesseract_matmul_nt(grid, ctx, dy, &self.w)
+    }
+
+    /// Visits (weight, grad) pairs for the optimizer, in a deterministic
+    /// order. Row-0 ranks visit the bias too.
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        f(ParamRef { weight: &mut self.w, grad: &mut self.dw });
+        if let (Some(b), Some(db)) = (self.bias.as_mut(), self.dbias.as_mut()) {
+            f(ParamRef { weight: b, grad: db });
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.tape.debug_assert_balanced("TesseractLinear");
+        self.dw = T::zeros(self.dw.rows(), self.dw.cols());
+        if let Some(db) = self.dbias.as_mut() {
+            *db = T::zeros(db.rows(), db.cols());
+        }
     }
 }

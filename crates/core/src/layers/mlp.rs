@@ -9,13 +9,15 @@ use tesseract_comm::{Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
 use crate::grid::TesseractGrid;
-use crate::layers::linear::{ParamRef, TesseractLinear};
+use crate::layers::linear::TesseractLinear;
+use crate::module::{Module, ParamRef, Tape};
 
 /// Feed-forward block: `fc2(gelu(fc1(x)))`.
 pub struct TesseractMlp<T> {
     pub fc1: TesseractLinear<T>,
     pub fc2: TesseractLinear<T>,
-    cached_pre_act: Vec<T>,
+    /// Tape of pre-activation blocks (GELU backward needs the input).
+    tape: Tape<T>,
 }
 
 impl<T: TensorLike + Payload> TesseractMlp<T> {
@@ -33,30 +35,33 @@ impl<T: TensorLike + Payload> TesseractMlp<T> {
         Self {
             fc1: TesseractLinear::new(ctx, grid, hidden, mlp_hidden, with_bias, seed, param_id),
             fc2: TesseractLinear::new(ctx, grid, mlp_hidden, hidden, with_bias, seed, param_id + 1),
-            cached_pre_act: Vec::new(),
+            tape: Tape::new(),
         }
     }
+}
 
-    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+impl<T: TensorLike + Payload> Module<T> for TesseractMlp<T> {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
         let pre = self.fc1.forward(grid, ctx, x);
         let act = pre.gelu(&mut ctx.meter);
-        self.cached_pre_act.push(pre);
+        self.tape.push(pre);
         self.fc2.forward(grid, ctx, &act)
     }
 
-    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
         let d_act = self.fc2.backward(grid, ctx, dy);
-        let pre = self.cached_pre_act.pop().expect("backward without forward");
+        let pre = self.tape.pop("TesseractMlp");
         let d_pre = pre.gelu_backward(&d_act, &mut ctx.meter);
         self.fc1.backward(grid, ctx, &d_pre)
     }
 
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
         self.fc1.visit_params(f);
         self.fc2.visit_params(f);
     }
 
-    pub fn zero_grad(&mut self) {
+    fn zero_grad(&mut self) {
+        self.tape.debug_assert_balanced("TesseractMlp");
         self.fc1.zero_grad();
         self.fc2.zero_grad();
     }

@@ -10,8 +10,8 @@ use crate::config::TransformerConfig;
 use crate::grid::TesseractGrid;
 use crate::layers::attention::TesseractAttention;
 use crate::layers::layernorm::TesseractLayerNorm;
-use crate::layers::linear::ParamRef;
 use crate::layers::mlp::TesseractMlp;
+use crate::module::{Module, ParamRef, Sequential};
 
 /// Number of parameter ids one Transformer layer consumes (Wq, Wk, Wv, Wo,
 /// fc1, fc2).
@@ -50,9 +50,11 @@ impl<T: TensorLike + Payload> TesseractTransformerLayer<T> {
             ),
         }
     }
+}
 
+impl<T: TensorLike + Payload> Module<T> for TesseractTransformerLayer<T> {
     /// Forward over the local `[b/(dq)·s, h/q]` activation block.
-    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
         let a = self.ln1.forward(grid, ctx, x);
         let b = self.attn.forward(grid, ctx, &a);
         let x1 = x.add(&b, &mut ctx.meter);
@@ -62,7 +64,7 @@ impl<T: TensorLike + Payload> TesseractTransformerLayer<T> {
     }
 
     /// Backward; returns `dX`.
-    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
         // y = x1 + mlp(ln2(x1)), so dy flows both directly and through mlp.
         let d_mlp_in = self.mlp.backward(grid, ctx, dy);
         let d_x1_from_ln2 = self.ln2.backward(grid, ctx, &d_mlp_in);
@@ -73,20 +75,23 @@ impl<T: TensorLike + Payload> TesseractTransformerLayer<T> {
         d_x1.add(&d_x_from_ln1, &mut ctx.meter)
     }
 
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
         self.attn.visit_params(f);
         self.mlp.visit_params(f);
     }
 
-    pub fn zero_grad(&mut self) {
+    fn zero_grad(&mut self) {
+        self.ln1.zero_grad();
         self.attn.zero_grad();
+        self.ln2.zero_grad();
         self.mlp.zero_grad();
     }
 }
 
-/// A stack of `cfg.layers` identical Transformer layers.
+/// A stack of `cfg.layers` identical Transformer layers, composed as a
+/// [`Sequential`] of [`TesseractTransformerLayer`] modules.
 pub struct TesseractTransformer<T> {
-    pub layers: Vec<TesseractTransformerLayer<T>>,
+    pub layers: Sequential<T>,
     pub cfg: TransformerConfig,
 }
 
@@ -101,46 +106,35 @@ impl<T: TensorLike + Payload> TesseractTransformer<T> {
         seed: u64,
         base_param_id: u64,
     ) -> Self {
-        let layers = (0..cfg.layers)
-            .map(|l| {
-                TesseractTransformerLayer::new(
-                    ctx,
-                    grid,
-                    cfg,
-                    with_bias,
-                    seed,
-                    base_param_id + l as u64 * PARAM_IDS_PER_LAYER,
-                )
-            })
-            .collect();
+        let mut layers = Sequential::new();
+        for l in 0..cfg.layers {
+            layers.push_boxed(Box::new(TesseractTransformerLayer::new(
+                ctx,
+                grid,
+                cfg,
+                with_bias,
+                seed,
+                base_param_id + l as u64 * PARAM_IDS_PER_LAYER,
+            )));
+        }
         Self { layers, cfg }
     }
+}
 
-    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
-        let mut h = x.clone();
-        for layer in &mut self.layers {
-            h = layer.forward(grid, ctx, &h);
-        }
-        h
+impl<T: TensorLike + Payload> Module<T> for TesseractTransformer<T> {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+        self.layers.forward(grid, ctx, x)
     }
 
-    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
-        let mut g = dy.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(grid, ctx, &g);
-        }
-        g
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+        self.layers.backward(grid, ctx, dy)
     }
 
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
-        for layer in &mut self.layers {
-            layer.visit_params(f);
-        }
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        self.layers.visit_params(f);
     }
 
-    pub fn zero_grad(&mut self) {
-        for layer in &mut self.layers {
-            layer.zero_grad();
-        }
+    fn zero_grad(&mut self) {
+        self.layers.zero_grad();
     }
 }

@@ -10,6 +10,9 @@
 //! * [`mm`] — Algorithm 3 (`C = A·B`) plus the `A·Bᵀ` / `Aᵀ·B` variants
 //!   implementing the backward rules of Eq. 3, including the depth
 //!   all-reduce of weight gradients.
+//! * [`module`] — the [`module::Module`] trait every layer implements, the
+//!   shared [`module::Tape`] activation stack and the [`module::Sequential`]
+//!   container pipeline stages and layer lists are built from.
 //! * [`layers`] — the Tesseract Transformer of §3.2: parallel linear, MLP,
 //!   multi-head attention, distributed layer norm, residual blocks.
 //! * [`analysis`] — closed-form communication/memory formulas (Eq. 7–12 and
@@ -24,6 +27,7 @@ pub mod config;
 pub mod grid;
 pub mod layers;
 pub mod mm;
+pub mod module;
 pub mod partition;
 
 pub use config::TransformerConfig;
@@ -33,3 +37,4 @@ pub use layers::{
     TesseractTransformerLayer,
 };
 pub use mm::{tesseract_matmul, tesseract_matmul_nt, tesseract_matmul_tn};
+pub use module::{Module, ParamRef, Sequential, Tape};

@@ -119,7 +119,7 @@ where
 mod tests {
     use super::*;
     use crate::grid::GridShape;
-    use crate::partition::{a_block, b_block, combine_b, combine_c, split_a, split_b};
+    use crate::partition::{a_block, b_block, combine_b, combine_c};
     use tesseract_comm::Cluster;
     use tesseract_tensor::{
         assert_slices_close, matmul, DenseTensor, Matrix, ShadowTensor, Xoshiro256StarStar,
@@ -305,9 +305,6 @@ mod tests {
             let _ = tesseract_matmul(&grid, ctx, &a_loc, &b_loc);
         });
         assert!((dense.makespan() - shadow.makespan()).abs() < 1e-15);
-        assert_eq!(
-            dense.comm.total_wire_bytes(),
-            shadow.comm.total_wire_bytes()
-        );
+        assert_eq!(dense.comm.total_wire_bytes(), shadow.comm.total_wire_bytes());
     }
 }

@@ -1,0 +1,284 @@
+//! The `Module` abstraction: one interface for every distributed layer.
+//!
+//! Every Tesseract layer used to re-implement the same duck-typed trio —
+//! inherent `forward` / `backward` / `visit_params` — plus its own private
+//! LIFO cache of forward activations. [`Module`] makes that contract a
+//! first-class trait, [`Tape`] centralizes the microbatch activation
+//! stacks (push-on-forward / pop-on-backward, with balance accounting so
+//! GPipe-style schedules cannot silently desync), and [`Sequential`] turns
+//! layer lists and pipeline-stage slices into ordinary `Module`
+//! compositions.
+//!
+//! The trait is generic over the communication world `G` (default:
+//! [`TesseractGrid`]) so the Megatron baseline — whose layers run on a 1-D
+//! `MegatronWorld` — shares the same interface. Consumers that only need
+//! parameters (optimizers, gradient sync, gradient clipping) take
+//! `&mut dyn Module<T>` and call [`Module::visit_params`]; consumers that
+//! drive computation (trainer, pipeline schedules, timing harnesses) call
+//! [`Module::forward`] / [`Module::backward`].
+
+use tesseract_comm::{Payload, RankCtx};
+use tesseract_tensor::TensorLike;
+
+use crate::grid::TesseractGrid;
+
+/// One (weight, gradient) pair exposed to optimizers and gradient sync.
+pub struct ParamRef<'a, T> {
+    pub weight: &'a mut T,
+    pub grad: &'a mut T,
+}
+
+/// A distributed layer: forward/backward over local activation blocks on a
+/// communication world `G`, plus deterministic parameter traversal.
+///
+/// SPMD contract: all ranks of a grid hold structurally identical modules
+/// and must call the same methods in the same order; `visit_params` must
+/// visit parameters in a deterministic order so per-parameter collectives
+/// (data-parallel all-reduce, optimizer state) line up across ranks.
+pub trait Module<T: TensorLike + Payload, G = TesseractGrid> {
+    /// Forward over this rank's local activation block. Implementations
+    /// that need activations in `backward` push them onto a [`Tape`].
+    fn forward(&mut self, grid: &G, ctx: &mut RankCtx, x: &T) -> T;
+
+    /// Backward; returns `dX` and accumulates parameter gradients. Pops
+    /// the activations cached by the matching `forward` (LIFO, so several
+    /// queued microbatch forwards are unwound in reverse order).
+    fn backward(&mut self, grid: &G, ctx: &mut RankCtx, dy: &T) -> T;
+
+    /// Visits every (weight, grad) pair in a deterministic order.
+    /// Parameter-free modules use the default empty body.
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        let _ = f;
+    }
+
+    /// Number of parameter tensors this module exposes.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |_| n += 1);
+        n
+    }
+
+    /// Total elements across this rank's parameter blocks.
+    fn param_elems(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |pr| n += pr.weight.elem_count());
+        n
+    }
+
+    /// Zeroes accumulated gradients. Called at step boundaries; modules
+    /// that own a [`Tape`] also assert it is balanced here (every forward
+    /// matched by a backward).
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |pr| {
+            *pr.grad = T::zeros(pr.grad.rows(), pr.grad.cols());
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tape
+// ---------------------------------------------------------------------------
+
+/// A LIFO stack of per-microbatch forward activations.
+///
+/// GPipe-style pipelining runs several microbatch forwards before the
+/// matching backwards (in reverse order), so entries push on forward and
+/// pop on backward. The tape counts pushes and pops so a desynchronized
+/// schedule fails loudly: popping an empty tape panics, and
+/// [`Tape::debug_assert_balanced`] (called by `zero_grad` at step
+/// boundaries) catches forwards that were never unwound.
+#[derive(Debug)]
+pub struct Tape<V> {
+    items: Vec<V>,
+    pushes: u64,
+    pops: u64,
+}
+
+impl<V> Default for Tape<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> Tape<V> {
+    pub fn new() -> Self {
+        Self { items: Vec::new(), pushes: 0, pops: 0 }
+    }
+
+    /// Caches one microbatch's forward state.
+    pub fn push(&mut self, v: V) {
+        self.pushes += 1;
+        self.items.push(v);
+    }
+
+    /// Retrieves the most recent unconsumed forward state.
+    ///
+    /// Panics when the tape is empty: a backward was issued without a
+    /// matching forward (`what` names the offending module).
+    pub fn pop(&mut self, what: &str) -> V {
+        self.pops += 1;
+        self.items.pop().unwrap_or_else(|| {
+            panic!(
+                "{what}: backward without forward (activation tape empty after \
+                 {} forwards / {} backwards)",
+                self.pushes, self.pops
+            )
+        })
+    }
+
+    /// Microbatches currently queued (forwards not yet unwound).
+    pub fn depth(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Lifetime push/pop counters (for schedule diagnostics).
+    pub fn counts(&self) -> (u64, u64) {
+        (self.pushes, self.pops)
+    }
+
+    /// Debug-asserts that every forward has been consumed by a backward —
+    /// the step-boundary invariant GPipe schedules must maintain.
+    pub fn debug_assert_balanced(&self, what: &str) {
+        debug_assert!(
+            self.items.is_empty(),
+            "{what}: activation tape unbalanced at step boundary \
+             ({} forwards vs {} backwards; {} microbatch(es) never unwound)",
+            self.pushes,
+            self.pops,
+            self.items.len()
+        );
+    }
+}
+
+/// Zeroes every gradient a module exposes (the body of the default
+/// [`Module::zero_grad`], reusable from overrides that add tape asserts).
+pub fn zero_params<T: TensorLike + Payload, G>(m: &mut dyn Module<T, G>) {
+    m.visit_params(&mut |pr| {
+        *pr.grad = T::zeros(pr.grad.rows(), pr.grad.cols());
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Sequential
+// ---------------------------------------------------------------------------
+
+/// An ordered composition of modules: forward runs them left to right,
+/// backward unwinds right to left. This is how the Transformer stack, the
+/// ViT (embed → body → pool → head) and hybrid pipeline-stage slices are
+/// all expressed.
+pub struct Sequential<T, G = TesseractGrid> {
+    mods: Vec<Box<dyn Module<T, G> + Send>>,
+}
+
+impl<T: TensorLike + Payload, G> Default for Sequential<T, G> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: TensorLike + Payload, G> Sequential<T, G> {
+    pub fn new() -> Self {
+        Self { mods: Vec::new() }
+    }
+
+    pub fn from_modules(mods: Vec<Box<dyn Module<T, G> + Send>>) -> Self {
+        Self { mods }
+    }
+
+    /// Appends a module; returns `self` for builder-style chaining.
+    pub fn push(mut self, m: impl Module<T, G> + Send + 'static) -> Self {
+        self.mods.push(Box::new(m));
+        self
+    }
+
+    /// Appends a boxed module in place.
+    pub fn push_boxed(&mut self, m: Box<dyn Module<T, G> + Send>) {
+        self.mods.push(m);
+    }
+
+    pub fn len(&self) -> usize {
+        self.mods.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.mods.is_empty()
+    }
+
+    /// The boxed modules, for stage re-slicing and per-module inspection.
+    pub fn modules_mut(&mut self) -> &mut Vec<Box<dyn Module<T, G> + Send>> {
+        &mut self.mods
+    }
+}
+
+impl<T: TensorLike + Payload, G> Module<T, G> for Sequential<T, G> {
+    fn forward(&mut self, grid: &G, ctx: &mut RankCtx, x: &T) -> T {
+        let mut h = x.clone();
+        for m in &mut self.mods {
+            h = m.forward(grid, ctx, &h);
+        }
+        h
+    }
+
+    fn backward(&mut self, grid: &G, ctx: &mut RankCtx, dy: &T) -> T {
+        let mut g = dy.clone();
+        for m in self.mods.iter_mut().rev() {
+            g = m.backward(grid, ctx, &g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        for m in &mut self.mods {
+            m.visit_params(f);
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        for m in &mut self.mods {
+            m.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesseract_tensor::DenseTensor;
+
+    #[test]
+    fn tape_is_lifo_and_counts() {
+        let mut t: Tape<u32> = Tape::new();
+        for v in 0..4 {
+            t.push(v);
+        }
+        assert_eq!(t.depth(), 4);
+        for v in (0..4).rev() {
+            assert_eq!(t.pop("test"), v);
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.counts(), (4, 4));
+        t.debug_assert_balanced("test");
+    }
+
+    #[test]
+    #[should_panic(expected = "backward without forward")]
+    fn tape_pop_on_empty_panics() {
+        let mut t: Tape<DenseTensor> = Tape::new();
+        let _ = t.pop("test-module");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "activation tape unbalanced")]
+    fn tape_imbalance_is_caught_at_step_boundary() {
+        let mut t: Tape<u8> = Tape::new();
+        t.push(1);
+        t.push(2);
+        let _ = t.pop("test");
+        t.debug_assert_balanced("test");
+    }
+}

@@ -5,10 +5,12 @@
 use tesseract_comm::Cluster;
 use tesseract_core::layers::{TesseractLayerNorm, TesseractLinear, TesseractMlp};
 use tesseract_core::partition::{a_block, combine_c};
-use tesseract_core::{GridShape, TesseractGrid, TesseractTransformerLayer, TransformerConfig};
+use tesseract_core::{
+    GridShape, Module, TesseractGrid, TesseractTransformerLayer, TransformerConfig,
+};
 use tesseract_tensor::{
-    assert_slices_close, init::global_xavier, matmul::matmul, nn, DenseTensor, Matrix,
-    TensorLike, Xoshiro256StarStar,
+    assert_slices_close, init::global_xavier, matmul::matmul, nn, DenseTensor, Matrix, TensorLike,
+    Xoshiro256StarStar,
 };
 
 const SEED: u64 = 99;
@@ -50,8 +52,7 @@ fn linear_forward_matches_global_weight_product() {
     let out = Cluster::a100(shape.size()).run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
-        let mut lin =
-            TesseractLinear::<DenseTensor>::new(ctx, &grid, in_f, out_f, false, SEED, 7);
+        let mut lin = TesseractLinear::<DenseTensor>::new(ctx, &grid, in_f, out_f, false, SEED, 7);
         let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
         lin.forward(&grid, ctx, &x_loc).into_matrix()
     });
@@ -154,12 +155,21 @@ fn forward_backward_can_repeat_across_steps() {
     // Regression for cache handling: two consecutive train-style steps must
     // work (caches push/pop in LIFO order and never leak).
     let shape = GridShape::new(2, 1);
-    let cfg = TransformerConfig { batch: 4, seq: 2, hidden: 8, heads: 2, mlp_ratio: 2, layers: 1, eps: 1e-5 };
+    let cfg = TransformerConfig {
+        batch: 4,
+        seq: 2,
+        hidden: 8,
+        heads: 2,
+        mlp_ratio: 2,
+        layers: 1,
+        eps: 1e-5,
+    };
     let x = random(cfg.rows(), cfg.hidden, 7);
     let out = Cluster::a100(shape.size()).run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
-        let mut layer = TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, SEED, 0);
+        let mut layer =
+            TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, SEED, 0);
         let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
         let mut outs = Vec::new();
         for _step in 0..3 {
@@ -182,13 +192,22 @@ fn gpipe_style_multi_forward_then_backward_works() {
     // Two forwards queued before two backwards (reverse order), as the
     // pipeline scheduler does.
     let shape = GridShape::new(2, 1);
-    let cfg = TransformerConfig { batch: 4, seq: 2, hidden: 8, heads: 2, mlp_ratio: 2, layers: 1, eps: 1e-5 };
+    let cfg = TransformerConfig {
+        batch: 4,
+        seq: 2,
+        hidden: 8,
+        heads: 2,
+        mlp_ratio: 2,
+        layers: 1,
+        eps: 1e-5,
+    };
     let x1 = random(cfg.rows(), cfg.hidden, 8);
     let x2 = random(cfg.rows(), cfg.hidden, 9);
     let out = Cluster::a100(shape.size()).run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
-        let mut layer = TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, SEED, 0);
+        let mut layer =
+            TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, SEED, 0);
         let x1_loc = DenseTensor::from_matrix(a_block(&x1, shape, i, j, k));
         let x2_loc = DenseTensor::from_matrix(a_block(&x2, shape, i, j, k));
         let y1 = layer.forward(&grid, ctx, &x1_loc);

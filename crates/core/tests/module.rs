@@ -1,0 +1,127 @@
+//! Integration tests of the `Module`/`Tape`/`Sequential` abstractions on
+//! the simulated cluster: GPipe-style microbatched schedules (all forwards,
+//! then all backwards in reverse) against sequential per-microbatch
+//! execution, plus the tape's failure modes.
+
+use tesseract_comm::Cluster;
+use tesseract_core::layers::{TesseractLayerNorm, TesseractLinear};
+use tesseract_core::partition::a_block;
+use tesseract_core::{GridShape, Module, Sequential, TesseractGrid};
+use tesseract_tensor::{assert_slices_close, DenseTensor, Matrix, Xoshiro256StarStar};
+
+const SEED: u64 = 2024;
+
+fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    Matrix::random_uniform(rows, cols, -1.0, 1.0, &mut rng)
+}
+
+/// A GPipe step queues every microbatch forward before any backward runs
+/// (reverse order). The shared tape must hand each backward the activations
+/// of *its own* microbatch, so gradients and dX must match running the
+/// microbatches one at a time (forward immediately followed by backward).
+#[test]
+fn tape_survives_four_microbatch_gpipe_schedule() {
+    let shape = GridShape::new(2, 2);
+    let microbatches = 4;
+    let xs: Vec<Matrix> = (0..microbatches).map(|m| random(8, 8, 10 + m as u64)).collect();
+    let dys: Vec<Matrix> = (0..microbatches).map(|m| random(8, 8, 20 + m as u64)).collect();
+
+    let run = |pipelined: bool| {
+        let xs = xs.clone();
+        let dys = dys.clone();
+        Cluster::a100(shape.size()).run(move |ctx| {
+            let grid = TesseractGrid::new(ctx, shape, 0);
+            let (i, j, k) = grid.coords;
+            let mut model = TesseractLinear::<DenseTensor>::new(ctx, &grid, 8, 8, true, SEED, 1);
+            let x_loc: Vec<DenseTensor> =
+                xs.iter().map(|x| DenseTensor::from_matrix(a_block(x, shape, i, j, k))).collect();
+            let dy_loc: Vec<DenseTensor> = dys
+                .iter()
+                .map(|dy| DenseTensor::from_matrix(a_block(dy, shape, i, j, k)))
+                .collect();
+            let mut dxs = Vec::new();
+            if pipelined {
+                // GPipe: all forwards, then all backwards in reverse order.
+                for x in &x_loc {
+                    let _ = model.forward(&grid, ctx, x);
+                }
+                for dy in dy_loc.iter().rev() {
+                    dxs.push(model.backward(&grid, ctx, dy).into_matrix());
+                }
+                dxs.reverse();
+            } else {
+                for (x, dy) in x_loc.iter().zip(&dy_loc) {
+                    let _ = model.forward(&grid, ctx, x);
+                    dxs.push(model.backward(&grid, ctx, dy).into_matrix());
+                }
+            }
+            // zero_grad's tape-balance debug assertion must accept a clean
+            // schedule.
+            let dw = model.weight_grad().clone().into_matrix();
+            model.zero_grad();
+            (dxs, dw)
+        })
+    };
+
+    let gpipe = run(true);
+    let serial = run(false);
+    for (rank, (g, s)) in gpipe.results.iter().zip(serial.results.iter()).enumerate() {
+        // dW sums the microbatch contributions in reverse order under
+        // GPipe, so it matches up to f32 summation-order noise only.
+        assert_slices_close(g.1.data(), s.1.data(), 1e-5);
+        for (m, (gx, sx)) in g.0.iter().zip(s.0.iter()).enumerate() {
+            // dX touches no accumulated state: bitwise identical.
+            assert_eq!(gx, sx, "rank {rank}, microbatch {m}: dX must match");
+        }
+    }
+}
+
+/// Issuing a backward with no queued forward is a schedule bug; the tape
+/// fails fast naming the module (the panic propagates through the cluster).
+#[test]
+#[should_panic(expected = "backward without forward")]
+fn backward_on_empty_tape_panics() {
+    let shape = GridShape::new(1, 1);
+    Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let mut lin = TesseractLinear::<DenseTensor>::new(ctx, &grid, 4, 4, false, SEED, 1);
+        let dy = DenseTensor::from_matrix(random(4, 4, 3));
+        let _ = lin.backward(&grid, ctx, &dy);
+    });
+}
+
+/// A `Sequential` of modules must behave exactly like calling the modules
+/// by hand: forward left-to-right, backward right-to-left.
+#[test]
+fn sequential_composition_matches_manual_chaining() {
+    let shape = GridShape::new(2, 1);
+    let x = random(8, 8, 40);
+    let dy = random(8, 8, 41);
+    let out = Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let (i, j, k) = grid.coords;
+        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
+
+        let mut seq: Sequential<DenseTensor> = Sequential::new()
+            .push(TesseractLayerNorm::new(8, 1e-5))
+            .push(TesseractLinear::new(ctx, &grid, 8, 8, true, SEED, 2));
+        let y_seq = seq.forward(&grid, ctx, &x_loc);
+        let dx_seq = seq.backward(&grid, ctx, &dy_loc);
+        assert_eq!(seq.param_count(), if grid.i() == 0 { 2 } else { 1 });
+
+        let mut ln = TesseractLayerNorm::<DenseTensor>::new(8, 1e-5);
+        let mut lin = TesseractLinear::<DenseTensor>::new(ctx, &grid, 8, 8, true, SEED, 2);
+        let h = ln.forward(&grid, ctx, &x_loc);
+        let y_man = lin.forward(&grid, ctx, &h);
+        let d_h = lin.backward(&grid, ctx, &dy_loc);
+        let dx_man = ln.backward(&grid, ctx, &d_h);
+
+        (y_seq.into_matrix(), y_man.into_matrix(), dx_seq.into_matrix(), dx_man.into_matrix())
+    });
+    for (rank, (ys, ym, ds, dm)) in out.results.iter().enumerate() {
+        assert_eq!(ys, ym, "rank {rank}: sequential forward differs from manual");
+        assert_eq!(ds, dm, "rank {rank}: sequential backward differs from manual");
+    }
+}

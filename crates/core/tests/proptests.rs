@@ -12,7 +12,7 @@ use tesseract_core::analysis;
 use tesseract_core::mm::tesseract_matmul;
 use tesseract_core::partition::{a_block, b_block, combine_c, split_a, split_b};
 use tesseract_core::{GridShape, TesseractGrid};
-use tesseract_tensor::{max_rel_diff, matmul::matmul, DenseTensor, Matrix, Xoshiro256StarStar};
+use tesseract_tensor::{matmul::matmul, max_rel_diff, DenseTensor, Matrix, Xoshiro256StarStar};
 
 fn grid_strategy() -> impl Strategy<Value = GridShape> {
     (1usize..4, 1usize..4).prop_map(|(q, d)| GridShape::new(q, d))

@@ -29,7 +29,11 @@ impl Criterion {
         BenchmarkGroup { _parent: self, name: name.into(), sample_size: 20 }
     }
 
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         run_benchmark(&id.into(), 20, f);
         self
     }

@@ -5,7 +5,7 @@
 //! and averaged, exactly like PyTorch DDP over NCCL.
 
 use tesseract_comm::{CommGroup, Payload, RankCtx};
-use tesseract_core::layers::linear::ParamRef;
+use tesseract_core::module::{Module, ParamRef};
 use tesseract_tensor::TensorLike;
 
 /// One rank's handle on its data-parallel gradient-sync group (ranks that
@@ -23,7 +23,17 @@ impl DataParallel {
 
     /// All-reduces and averages every gradient the model exposes. Call once
     /// per step, after backward and before the optimizer.
-    pub fn sync_gradients<T: TensorLike + Payload>(
+    pub fn sync_gradients<T: TensorLike + Payload, G>(
+        &self,
+        ctx: &mut RankCtx,
+        model: &mut dyn Module<T, G>,
+    ) {
+        self.sync_gradient_params::<T>(ctx, |f| model.visit_params(f));
+    }
+
+    /// Closure-based entry point for parameter sets that are not a
+    /// [`Module`] (unit tests, ad-hoc tensors).
+    pub fn sync_gradient_params<T: TensorLike + Payload>(
         &self,
         ctx: &mut RankCtx,
         visit: impl FnOnce(&mut dyn FnMut(ParamRef<'_, T>)),
@@ -51,9 +61,8 @@ mod tests {
         let out = Cluster::a100(2).run(|ctx| {
             let dp = DataParallel::new(ctx, vec![0, 1]);
             let mut w = DenseTensor::from_matrix(Matrix::full(2, 2, 0.0));
-            let mut g =
-                DenseTensor::from_matrix(Matrix::full(2, 2, (ctx.rank as f32 + 1.0) * 2.0));
-            dp.sync_gradients::<DenseTensor>(ctx, |f| {
+            let mut g = DenseTensor::from_matrix(Matrix::full(2, 2, (ctx.rank as f32 + 1.0) * 2.0));
+            dp.sync_gradient_params::<DenseTensor>(ctx, |f| {
                 f(ParamRef { weight: &mut w, grad: &mut g });
             });
             g.matrix()[(0, 0)]
@@ -70,7 +79,7 @@ mod tests {
             let mut g1 = DenseTensor::from_matrix(Matrix::full(1, 1, ctx.rank as f32));
             let mut w2 = DenseTensor::from_matrix(Matrix::zeros(1, 2));
             let mut g2 = DenseTensor::from_matrix(Matrix::full(1, 2, 10.0 * ctx.rank as f32));
-            dp.sync_gradients::<DenseTensor>(ctx, |f| {
+            dp.sync_gradient_params::<DenseTensor>(ctx, |f| {
                 f(ParamRef { weight: &mut w1, grad: &mut g1 });
                 f(ParamRef { weight: &mut w2, grad: &mut g2 });
             });

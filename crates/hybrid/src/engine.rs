@@ -1,19 +1,20 @@
 //! The combined dp × pp × Tesseract engine (paper §3.4, Figure 6).
 //!
 //! Each rank determines its (replica, stage, grid position) from
-//! [`HybridShape`], builds its slice of the Transformer stack on its
-//! module's Tesseract grid, and exposes a GPipe `train_step` that finishes
-//! with the data-parallel gradient all-reduce.
+//! [`HybridShape`], carves its pipeline stage's slice of the Transformer
+//! stack (a [`Sequential`] of layer modules, via
+//! [`HybridShape::carve_stage`]) on its module's Tesseract grid, and
+//! exposes a GPipe `train_step` that finishes with the data-parallel
+//! gradient all-reduce.
 
 use tesseract_comm::{Payload, RankCtx};
-use tesseract_core::layers::linear::ParamRef;
-use tesseract_core::layers::PARAM_IDS_PER_LAYER;
-use tesseract_core::{TesseractGrid, TesseractTransformer, TransformerConfig};
+use tesseract_core::module::{Module, ParamRef, Sequential};
+use tesseract_core::{TesseractGrid, TransformerConfig};
 use tesseract_tensor::TensorLike;
 
 use crate::data_parallel::DataParallel;
 use crate::mapping::{HybridCoords, HybridShape};
-use crate::pipeline::PipelineStage;
+use crate::pipeline::{gpipe_step_module, PipelineStage};
 
 /// One rank's slice of a hybrid-parallel Transformer.
 pub struct HybridTransformer<T> {
@@ -23,7 +24,7 @@ pub struct HybridTransformer<T> {
     pub stage: PipelineStage,
     pub dp: DataParallel,
     /// This pipeline stage's contiguous slice of the layer stack.
-    pub model: TesseractTransformer<T>,
+    pub model: Sequential<T>,
     /// Configuration of one microbatch (`cfg.batch` = microbatch size).
     pub cfg: TransformerConfig,
 }
@@ -39,15 +40,12 @@ impl<T: TensorLike + Payload> HybridTransformer<T> {
         seed: u64,
     ) -> Self {
         assert_eq!(ctx.world, shape.total(), "world size must match hybrid shape");
-        assert_eq!(cfg.layers % shape.pp, 0, "pp must divide the layer count");
         let coords = shape.coords_of(ctx.rank);
         let base = shape.module_base(coords.dp_idx, coords.pp_idx);
         let grid = TesseractGrid::new(ctx, shape.grid, base);
 
-        let layers_per_stage = cfg.layers / shape.pp;
-        let stage_cfg = TransformerConfig { layers: layers_per_stage, ..cfg };
-        let base_param_id = (coords.pp_idx * layers_per_stage) as u64 * PARAM_IDS_PER_LAYER;
-        let model = TesseractTransformer::new(ctx, &grid, stage_cfg, with_bias, seed, base_param_id);
+        let (model, stage_cfg) =
+            shape.carve_stage::<T>(ctx, &grid, coords.pp_idx, cfg, with_bias, seed);
 
         let prev_peer = (coords.pp_idx > 0)
             .then(|| shape.module_base(coords.dp_idx, coords.pp_idx - 1) + coords.tess_offset);
@@ -69,36 +67,20 @@ impl<T: TensorLike + Payload> HybridTransformer<T> {
         &mut self,
         ctx: &mut RankCtx,
         microbatches: usize,
-        mut inputs: impl FnMut(usize) -> T,
-        mut loss_grad: impl FnMut(&mut RankCtx, &T, usize) -> T,
+        inputs: impl FnMut(usize) -> T,
+        loss_grad: impl FnMut(&mut RankCtx, &T, usize) -> T,
     ) -> Vec<T> {
-        // Same schedule as `gpipe_step`, inlined because forward and
-        // backward both need `&mut self.model`.
-        let mut outputs: Vec<T> = Vec::new();
-        for m in 0..microbatches {
-            let x = if self.stage.is_first() { inputs(m) } else { self.stage.recv_forward(ctx) };
-            let y = self.model.forward(&self.grid, ctx, &x);
-            if self.stage.is_last() {
-                outputs.push(y);
-            } else {
-                self.stage.send_forward(ctx, y);
-            }
-        }
-        for m in (0..microbatches).rev() {
-            let dy = if self.stage.is_last() {
-                loss_grad(ctx, &outputs[m], m)
-            } else {
-                self.stage.recv_backward(ctx)
-            };
-            let dx = self.model.backward(&self.grid, ctx, &dy);
-            if !self.stage.is_first() {
-                self.stage.send_backward(ctx, dx);
-            }
-        }
+        let outputs = gpipe_step_module(
+            &self.stage,
+            &self.grid,
+            ctx,
+            &mut self.model,
+            microbatches,
+            inputs,
+            loss_grad,
+        );
         if self.shape.dp > 1 {
-            let dp = &self.dp;
-            let model = &mut self.model;
-            dp.sync_gradients::<T>(ctx, |f| model.visit_params(f));
+            self.dp.sync_gradients(ctx, &mut self.model);
         }
         outputs
     }

@@ -7,7 +7,10 @@
 //!
 //! `rank = ((dp_idx · pp + pp_idx) · tesseract_size) + tesseract_offset`
 
-use tesseract_core::GridShape;
+use tesseract_comm::{Payload, RankCtx};
+use tesseract_core::layers::{TesseractTransformerLayer, PARAM_IDS_PER_LAYER};
+use tesseract_core::{GridShape, Sequential, TesseractGrid, TransformerConfig};
+use tesseract_tensor::TensorLike;
 
 /// Shape of a hybrid dp × pp × Tesseract arrangement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,11 +54,7 @@ impl HybridShape {
         assert!(rank < self.total(), "rank {rank} out of hybrid world {self:?}");
         let ts = self.grid.size();
         let module = rank / ts;
-        HybridCoords {
-            dp_idx: module / self.pp,
-            pp_idx: module % self.pp,
-            tess_offset: rank % ts,
-        }
+        HybridCoords { dp_idx: module / self.pp, pp_idx: module % self.pp, tess_offset: rank % ts }
     }
 
     pub fn rank_of(&self, c: HybridCoords) -> usize {
@@ -75,12 +74,51 @@ impl HybridShape {
             .collect()
     }
 
+    /// Carves pipeline stage `pp_idx`'s contiguous slice out of the full
+    /// `cfg.layers`-deep Transformer stack, as a [`Sequential`] of layer
+    /// modules on `grid`. Layer `l` of the *global* stack keeps its global
+    /// parameter ids (`l · PARAM_IDS_PER_LAYER`), so the carved stages of a
+    /// pipeline jointly hold exactly the weights of the monolithic model.
+    /// Returns the stage module and the per-stage config
+    /// (`layers = cfg.layers / pp`).
+    pub fn carve_stage<T: TensorLike + Payload>(
+        &self,
+        ctx: &RankCtx,
+        grid: &TesseractGrid,
+        pp_idx: usize,
+        cfg: TransformerConfig,
+        with_bias: bool,
+        seed: u64,
+    ) -> (Sequential<T>, TransformerConfig) {
+        assert!(pp_idx < self.pp, "stage {pp_idx} out of {} stages", self.pp);
+        assert_eq!(cfg.layers % self.pp, 0, "pp must divide the layer count");
+        let layers_per_stage = cfg.layers / self.pp;
+        let stage_cfg = TransformerConfig { layers: layers_per_stage, ..cfg };
+        let first = pp_idx * layers_per_stage;
+        let mut stage = Sequential::new();
+        for l in first..first + layers_per_stage {
+            stage.push_boxed(Box::new(TesseractTransformerLayer::new(
+                ctx,
+                grid,
+                stage_cfg,
+                with_bias,
+                seed,
+                l as u64 * PARAM_IDS_PER_LAYER,
+            )));
+        }
+        (stage, stage_cfg)
+    }
+
     /// Renders the Figure-6-style arrangement map.
     pub fn describe(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "hybrid arrangement: dp={} x pp={} x tesseract [q={}, q={}, d={}] = {} GPUs\n",
-            self.dp, self.pp, self.grid.q, self.grid.q, self.grid.d,
+            self.dp,
+            self.pp,
+            self.grid.q,
+            self.grid.q,
+            self.grid.d,
             self.total()
         ));
         for dp_idx in 0..self.dp {

@@ -10,6 +10,8 @@
 //! cannot complete before the sender produced the tensor.
 
 use tesseract_comm::{CommGroup, Payload, RankCtx};
+use tesseract_core::{Module, TesseractGrid};
+use tesseract_tensor::TensorLike;
 
 const TAG_FWD: u64 = 0;
 const TAG_BWD: u64 = 1;
@@ -50,7 +52,10 @@ impl PipelineStage {
     }
 
     pub fn send_forward<P: Payload>(&self, ctx: &mut RankCtx, activation: P) {
-        self.next.as_ref().expect("last stage cannot send forward").send(ctx, 1, TAG_FWD, activation);
+        self.next
+            .as_ref()
+            .expect("last stage cannot send forward")
+            .send(ctx, 1, TAG_FWD, activation);
     }
 
     pub fn recv_forward<P: Payload>(&self, ctx: &mut RankCtx) -> P {
@@ -105,12 +110,53 @@ where
         }
     }
     for m in (0..microbatches).rev() {
-        let dy = if stage.is_last() {
-            loss_grad(ctx, &outputs[m], m)
-        } else {
-            stage.recv_backward(ctx)
-        };
+        let dy =
+            if stage.is_last() { loss_grad(ctx, &outputs[m], m) } else { stage.recv_backward(ctx) };
         let dx = backward(ctx, dy);
+        if !stage.is_first() {
+            stage.send_backward(ctx, dx);
+        }
+    }
+    outputs
+}
+
+/// [`gpipe_step`] specialized to a [`Module`] stage slice on a Tesseract
+/// grid: all microbatch forwards push onto the module's activation tapes,
+/// then all backwards pop them in reverse order — the schedule the tapes'
+/// LIFO ordering exists for.
+///
+/// * `inputs(m)` — the stage-0 input for microbatch `m` (ignored elsewhere).
+/// * `loss_grad(ctx, y, m)` — on the *last* stage, converts output `y` of
+///   microbatch `m` into the initial gradient (ignored elsewhere).
+///
+/// Returns the last stage's outputs, in microbatch order (empty elsewhere).
+pub fn gpipe_step_module<T>(
+    stage: &PipelineStage,
+    grid: &TesseractGrid,
+    ctx: &mut RankCtx,
+    model: &mut dyn Module<T>,
+    microbatches: usize,
+    mut inputs: impl FnMut(usize) -> T,
+    mut loss_grad: impl FnMut(&mut RankCtx, &T, usize) -> T,
+) -> Vec<T>
+where
+    T: TensorLike + Payload,
+{
+    assert!(microbatches >= 1);
+    let mut outputs = Vec::new();
+    for m in 0..microbatches {
+        let x = if stage.is_first() { inputs(m) } else { stage.recv_forward(ctx) };
+        let y = model.forward(grid, ctx, &x);
+        if stage.is_last() {
+            outputs.push(y);
+        } else {
+            stage.send_forward(ctx, y);
+        }
+    }
+    for m in (0..microbatches).rev() {
+        let dy =
+            if stage.is_last() { loss_grad(ctx, &outputs[m], m) } else { stage.recv_backward(ctx) };
+        let dx = model.backward(grid, ctx, &dy);
         if !stage.is_first() {
             stage.send_backward(ctx, dx);
         }
@@ -129,8 +175,7 @@ mod tests {
     #[test]
     fn two_stage_pipeline_matches_serial_composition() {
         let out = Cluster::a100(2).run(|ctx| {
-            let (prev, next) =
-                if ctx.rank == 0 { (None, Some(1)) } else { (Some(0), None) };
+            let (prev, next) = if ctx.rank == 0 { (None, Some(1)) } else { (Some(0), None) };
             let stage = PipelineStage::new(ctx, 2, ctx.rank, prev, next);
             let factor = if ctx.rank == 0 { 2.0f32 } else { 3.0 };
             let mut received_dx = Vec::new();
@@ -163,8 +208,7 @@ mod tests {
     #[test]
     fn pipeline_bubble_appears_in_virtual_time() {
         let out = Cluster::a100(2).run(|ctx| {
-            let (prev, next) =
-                if ctx.rank == 0 { (None, Some(1)) } else { (Some(0), None) };
+            let (prev, next) = if ctx.rank == 0 { (None, Some(1)) } else { (Some(0), None) };
             let stage = PipelineStage::new(ctx, 2, ctx.rank, prev, next);
             let _ = gpipe_step::<DenseTensor, _, _, _, _>(
                 &stage,

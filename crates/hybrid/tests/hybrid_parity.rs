@@ -186,7 +186,10 @@ fn figure6_arrangement_matches_serial() {
             for (coords, _, grad) in &out.results {
                 if coords.pp_idx == pp_idx && coords.tess_offset == off {
                     if let Some(prev) = seen {
-                        assert_eq!(prev, grad, "dp replicas out of sync at stage {pp_idx} off {off}");
+                        assert_eq!(
+                            prev, grad,
+                            "dp replicas out of sync at stage {pp_idx} off {off}"
+                        );
                     }
                     seen = Some(grad);
                 }

@@ -267,11 +267,11 @@ macro_rules! __proptest_impl {
 }
 
 pub mod prelude {
+    /// Alias so `proptest::prelude::prop::collection::vec` style paths work.
+    pub use crate as prop;
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
     };
-    /// Alias so `proptest::prelude::prop::collection::vec` style paths work.
-    pub use crate as prop;
 }
 
 #[cfg(test)]

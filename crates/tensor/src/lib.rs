@@ -54,10 +54,7 @@ pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
 pub fn assert_slices_close(a: &[f32], b: &[f32], tol: f32) {
     assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
     for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
-        assert!(
-            approx_eq(x, y, tol),
-            "mismatch at index {i}: {x} vs {y} (tol {tol})"
-        );
+        assert!(approx_eq(x, y, tol), "mismatch at index {i}: {x} vs {y} (tol {tol})");
     }
 }
 

@@ -570,8 +570,10 @@ mod tests {
         assert!(!c[(0, 1)].is_nan());
         let pool = ThreadPool::new(2);
         let cb = matmul_blocked(&a, &b, &pool);
-        assert_eq!(c.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                   cb.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+        assert_eq!(
+            c.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            cb.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
 
         // Aᵀ·B with a zero in Aᵀ against a NaN in B.
         let mut at = Matrix::zeros(3, 2);

@@ -50,7 +50,13 @@ impl Matrix {
     }
 
     /// Uniform random matrix in `[lo, hi)`.
-    pub fn random_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut Xoshiro256StarStar) -> Self {
+    pub fn random_uniform(
+        rows: usize,
+        cols: usize,
+        lo: f32,
+        hi: f32,
+        rng: &mut Xoshiro256StarStar,
+    ) -> Self {
         let data = (0..rows * cols).map(|_| rng.uniform(lo, hi)).collect();
         Self { rows, cols, data }
     }

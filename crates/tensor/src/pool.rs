@@ -119,16 +119,16 @@ impl ThreadPool {
         // SAFETY: erase the borrow lifetime; we hold the job open only for
         // the duration of this call (see TaskRef invariant).
         let task = TaskRef(unsafe {
-            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
-                body as *const _,
-            )
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(body as *const _)
         });
 
         {
             let mut state = lock_state(&self.shared.state);
             debug_assert!(state.job.is_none(), "submit guard held, job slot must be free");
-            state.job =
-                Some(Job { task, n_tasks, next: 0, completed: 0, panicked: false });
+            state.job = Some(Job { task, n_tasks, next: 0, completed: 0, panicked: false });
             self.shared.work.notify_all();
         }
 

@@ -24,11 +24,7 @@ fn gen(rows: usize, cols: usize, seed: u64) -> Matrix {
 fn assert_bitwise_eq(label: &str, reference: &Matrix, candidate: &Matrix) {
     assert_eq!(reference.shape(), candidate.shape(), "{label}: shape mismatch");
     for (i, (r, c)) in reference.data().iter().zip(candidate.data()).enumerate() {
-        assert_eq!(
-            r.to_bits(),
-            c.to_bits(),
-            "{label}: bit mismatch at flat index {i}: {r} vs {c}"
-        );
+        assert_eq!(r.to_bits(), c.to_bits(), "{label}: bit mismatch at flat index {i}: {r} vs {c}");
     }
 }
 
@@ -67,18 +63,18 @@ fn adversarial_shapes() -> Vec<(usize, usize, usize)> {
         (1, 1, 1),
         (1, 17, 1),
         (2, 3, 5),
-        (3, 1, 9),           // k=1: single multiply, no accumulation chain
-        (4, 8, 8),           // exactly one register tile
-        (5, 9, 11),          // one past the register tile in every dim
-        (7, 13, 23),         // primes: nothing divides anything
+        (3, 1, 9),   // k=1: single multiply, no accumulation chain
+        (4, 8, 8),   // exactly one register tile
+        (5, 9, 11),  // one past the register tile in every dim
+        (7, 13, 23), // primes: nothing divides anything
         (BLOCK_M + 1, BLOCK_K + 2, BLOCK_N + 3),
         (65, 130, 97),
-        (BLOCK_M, 7, BLOCK_N),   // thin k: packing dominated by remainders
-        (1, 300, 500),           // single-row C
-        (500, 300, 1),           // single-column C
-        (3, 1024, 4),            // tall accumulation, tiny output
-        (190, 5, 6),             // tall-skinny A
-        (6, 5, 190),             // short-wide B
+        (BLOCK_M, 7, BLOCK_N), // thin k: packing dominated by remainders
+        (1, 300, 500),         // single-row C
+        (500, 300, 1),         // single-column C
+        (3, 1024, 4),          // tall accumulation, tiny output
+        (190, 5, 6),           // tall-skinny A
+        (6, 5, 190),           // short-wide B
     ]
 }
 

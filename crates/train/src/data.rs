@@ -61,13 +61,10 @@ impl SyntheticVisionDataset {
     /// The deterministic batch for global step `step` of the stream seeded
     /// `stream_seed` — every rank (and every arrangement) sees identical
     /// data, which is what makes Figure-7 curves comparable.
-    pub fn batch_for_step(
-        &self,
-        b: usize,
-        stream_seed: u64,
-        step: u64,
-    ) -> (Matrix, Vec<usize>) {
-        let mut rng = Xoshiro256StarStar::seed_from_u64(stream_seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    pub fn batch_for_step(&self, b: usize, stream_seed: u64, step: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(
+            stream_seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         self.batch(b, &mut rng)
     }
 }

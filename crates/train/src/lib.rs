@@ -5,11 +5,13 @@
 //! ImageNet-100, a Vision Transformer in both Tesseract-parallel and
 //! serial form, and training loops that produce the accuracy curves.
 
+pub mod clip;
 pub mod data;
 pub mod optim;
 pub mod trainer;
 pub mod vit;
 
+pub use clip::{clip_grad_norm, clip_grad_norm_params};
 pub use data::SyntheticVisionDataset;
 pub use optim::{AdamW, Lamb, Lars, Sgd};
 pub use trainer::{train_serial, train_tesseract, EpochMetrics, TrainReport, TrainSettings};

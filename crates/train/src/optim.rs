@@ -17,11 +17,9 @@
 //! because the tensor trait exposes a fused `rsqrt_add`; for the ε = 1e-8
 //! defaults the difference from `1/(sqrt(v̂)+ε)` is far below f32 noise.
 
-use tesseract_core::layers::linear::ParamRef;
+use tesseract_comm::Payload;
+use tesseract_core::module::{Module, ParamRef};
 use tesseract_tensor::{Meter, TensorLike};
-
-/// Visits parameters through a layer's `visit_params`-style entry point.
-pub type VisitFn<'a, T> = &'a mut dyn FnMut(ParamRef<'_, T>);
 
 /// Plain SGD with optional momentum and (coupled) weight decay.
 pub struct Sgd<T> {
@@ -36,7 +34,21 @@ impl<T: TensorLike> Sgd<T> {
         Self { lr, momentum, weight_decay, velocity: Vec::new() }
     }
 
-    pub fn step(&mut self, m: &mut Meter, visit: impl FnOnce(VisitFn<'_, T>)) {
+    /// Updates every parameter of `model` (any world type `G`).
+    pub fn step<G>(&mut self, m: &mut Meter, model: &mut dyn Module<T, G>)
+    where
+        T: Payload,
+    {
+        self.step_params(m, |f| model.visit_params(f));
+    }
+
+    /// Closure-based entry point for parameter sets that are not a
+    /// [`Module`] (the serial reference model, unit tests).
+    pub fn step_params(
+        &mut self,
+        m: &mut Meter,
+        visit: impl FnOnce(&mut dyn FnMut(ParamRef<'_, T>)),
+    ) {
         let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
         let velocity = &mut self.velocity;
         let mut idx = 0;
@@ -98,7 +110,21 @@ impl<T: TensorLike> AdamW<T> {
         m_hat.hadamard(&denom, m)
     }
 
-    pub fn step(&mut self, m: &mut Meter, visit: impl FnOnce(VisitFn<'_, T>)) {
+    /// Updates every parameter of `model` (any world type `G`).
+    pub fn step<G>(&mut self, m: &mut Meter, model: &mut dyn Module<T, G>)
+    where
+        T: Payload,
+    {
+        self.step_params(m, |f| model.visit_params(f));
+    }
+
+    /// Closure-based entry point for parameter sets that are not a
+    /// [`Module`] (the serial reference model, unit tests).
+    pub fn step_params(
+        &mut self,
+        m: &mut Meter,
+        visit: impl FnOnce(&mut dyn FnMut(ParamRef<'_, T>)),
+    ) {
         self.t += 1;
         let (lr, wd, t) = (self.lr, self.weight_decay, self.t);
         let betas = (self.beta1, self.beta2, self.eps);
@@ -133,7 +159,21 @@ impl<T: TensorLike> Lamb<T> {
         Self { lr, weight_decay, eps: 1e-8, beta1: 0.9, beta2: 0.999, t: 0, moments: Vec::new() }
     }
 
-    pub fn step(&mut self, m: &mut Meter, visit: impl FnOnce(VisitFn<'_, T>)) {
+    /// Updates every parameter of `model` (any world type `G`).
+    pub fn step<G>(&mut self, m: &mut Meter, model: &mut dyn Module<T, G>)
+    where
+        T: Payload,
+    {
+        self.step_params(m, |f| model.visit_params(f));
+    }
+
+    /// Closure-based entry point for parameter sets that are not a
+    /// [`Module`] (the serial reference model, unit tests).
+    pub fn step_params(
+        &mut self,
+        m: &mut Meter,
+        visit: impl FnOnce(&mut dyn FnMut(ParamRef<'_, T>)),
+    ) {
         self.t += 1;
         let (lr, wd, t) = (self.lr, self.weight_decay, self.t);
         let betas = (self.beta1, self.beta2, self.eps);
@@ -169,15 +209,27 @@ impl<T: TensorLike> Lars<T> {
         Self { lr, momentum: 0.9, weight_decay, eta: 1e-3, velocity: Vec::new() }
     }
 
-    pub fn step(&mut self, m: &mut Meter, visit: impl FnOnce(VisitFn<'_, T>)) {
+    /// Updates every parameter of `model` (any world type `G`).
+    pub fn step<G>(&mut self, m: &mut Meter, model: &mut dyn Module<T, G>)
+    where
+        T: Payload,
+    {
+        self.step_params(m, |f| model.visit_params(f));
+    }
+
+    /// Closure-based entry point for parameter sets that are not a
+    /// [`Module`] (the serial reference model, unit tests).
+    pub fn step_params(
+        &mut self,
+        m: &mut Meter,
+        visit: impl FnOnce(&mut dyn FnMut(ParamRef<'_, T>)),
+    ) {
         let (lr, mu, wd, eta) = (self.lr, self.momentum, self.weight_decay, self.eta);
         let velocity = &mut self.velocity;
         let mut idx = 0;
         visit(&mut |pr: ParamRef<'_, T>| {
             let local_lr = match (pr.weight.frobenius(), pr.grad.frobenius()) {
-                (Some(wn), Some(gn)) if wn > 0.0 && gn + wd * wn > 0.0 => {
-                    eta * wn / (gn + wd * wn)
-                }
+                (Some(wn), Some(gn)) if wn > 0.0 && gn + wd * wn > 0.0 => eta * wn / (gn + wd * wn),
                 _ => 1.0,
             };
             let mut g = pr.grad.clone();
@@ -216,7 +268,7 @@ mod tests {
         let mut m = Meter::new();
         for _ in 0..80 {
             quadratic_step(&mut w, |w, g| {
-                opt.step(&mut m, |f| f(ParamRef { weight: w, grad: g }));
+                opt.step_params(&mut m, |f| f(ParamRef { weight: w, grad: g }));
             });
         }
         // w shrinks by (1 - lr) per step: 2·0.9^80 ≈ 4.4e-4.
@@ -231,7 +283,7 @@ mod tests {
             let mut m = Meter::new();
             for _ in 0..10 {
                 quadratic_step(&mut w, |w, g| {
-                    opt.step(&mut m, |f| f(ParamRef { weight: w, grad: g }));
+                    opt.step_params(&mut m, |f| f(ParamRef { weight: w, grad: g }));
                 });
             }
             w.matrix()[(0, 0)].abs()
@@ -246,7 +298,7 @@ mod tests {
         let mut m = Meter::new();
         for _ in 0..200 {
             quadratic_step(&mut w, |w, g| {
-                opt.step(&mut m, |f| f(ParamRef { weight: w, grad: g }));
+                opt.step_params(&mut m, |f| f(ParamRef { weight: w, grad: g }));
             });
         }
         assert!(w.matrix().frobenius_norm() < 0.05, "norm {}", w.matrix().frobenius_norm());
@@ -259,7 +311,7 @@ mod tests {
         let mut g = DenseTensor::from_matrix(Matrix::zeros(1, 1));
         let mut m = Meter::new();
         let before = w.matrix()[(0, 0)];
-        opt.step(&mut m, |f| f(ParamRef { weight: &mut w, grad: &mut g }));
+        opt.step_params(&mut m, |f| f(ParamRef { weight: &mut w, grad: &mut g }));
         assert!(w.matrix()[(0, 0)] < before);
     }
 
@@ -271,7 +323,7 @@ mod tests {
         let initial = w.matrix().frobenius_norm();
         for _ in 0..50 {
             quadratic_step(&mut w, |w, g| {
-                opt.step(&mut m, |f| f(ParamRef { weight: w, grad: g }));
+                opt.step_params(&mut m, |f| f(ParamRef { weight: w, grad: g }));
             });
         }
         assert!(w.matrix().frobenius_norm() < initial * 0.5);
@@ -285,7 +337,7 @@ mod tests {
         let initial = w.matrix().frobenius_norm();
         for _ in 0..100 {
             quadratic_step(&mut w, |w, g| {
-                opt.step(&mut m, |f| f(ParamRef { weight: w, grad: g }));
+                opt.step_params(&mut m, |f| f(ParamRef { weight: w, grad: g }));
             });
         }
         assert!(w.matrix().frobenius_norm() < initial);
@@ -300,7 +352,7 @@ mod tests {
         for _ in 0..3 {
             let mut g1 = w1.clone();
             let mut g2 = w2.clone();
-            opt.step(&mut m, |f| {
+            opt.step_params(&mut m, |f| {
                 f(ParamRef { weight: &mut w1, grad: &mut g1 });
                 f(ParamRef { weight: &mut w2, grad: &mut g2 });
             });

@@ -6,7 +6,7 @@
 
 use tesseract_comm::Cluster;
 use tesseract_core::partition::a_block;
-use tesseract_core::{GridShape, TesseractGrid};
+use tesseract_core::{GridShape, Module, TesseractGrid};
 use tesseract_tensor::{nn, DenseTensor, Matrix, Meter};
 
 use crate::data::SyntheticVisionDataset;
@@ -28,11 +28,22 @@ pub struct TrainSettings {
     pub seed: u64,
     /// Data stream seed (shared across all arrangements).
     pub data_seed: u64,
+    /// Clip gradients to this global norm before each optimizer step
+    /// (`None`: no clipping — the paper's Figure-7 setup).
+    pub clip_grad_norm: Option<f32>,
 }
 
 impl Default for TrainSettings {
     fn default() -> Self {
-        Self { epochs: 3, steps_per_epoch: 8, lr: 3e-3, weight_decay: 0.3, seed: 42, data_seed: 1234 }
+        Self {
+            epochs: 3,
+            steps_per_epoch: 8,
+            lr: 3e-3,
+            weight_decay: 0.3,
+            seed: 42,
+            data_seed: 1234,
+            clip_grad_norm: None,
+        }
     }
 }
 
@@ -78,7 +89,13 @@ pub fn train_serial(vcfg: ViTConfig, ds: &SyntheticVisionDataset, s: TrainSettin
             correct += nn::count_correct(&logits, &labels);
             loss_sum += loss;
             model.backward(&dlogits);
-            opt.step(&mut scratch, |f| visit_serial_vit(&mut model, f));
+            if let Some(max_norm) = s.clip_grad_norm {
+                crate::clip::clip_grad_norm_params(
+                    &mut |f| visit_serial_vit(&mut model, f),
+                    max_norm,
+                );
+            }
+            opt.step_params(&mut scratch, |f| visit_serial_vit(&mut model, f));
             model.zero_grad();
         }
         report.epochs.push(EpochMetrics {
@@ -115,15 +132,19 @@ pub fn train_tesseract(
             for _ in 0..s.steps_per_epoch {
                 let (x, labels) = ds.batch_for_step(b, s.data_seed, step_idx);
                 step_idx += 1;
-                let x_loc = DenseTensor::from_matrix(a_block(&x, shape, grid.i(), grid.j(), grid.k()));
+                let x_loc =
+                    DenseTensor::from_matrix(a_block(&x, shape, grid.i(), grid.j(), grid.k()));
                 let my_labels = &labels[h * per..(h + 1) * per];
                 let logits = model.forward(&grid, ctx, &x_loc);
                 let (loss_local, dlogits, correct_local) =
                     distributed_cross_entropy(&grid, ctx, &logits, my_labels, b);
                 model.backward(&grid, ctx, &dlogits);
+                if let Some(max_norm) = s.clip_grad_norm {
+                    crate::clip::clip_grad_norm(&grid, ctx, &mut model, max_norm);
+                }
                 // Optimizer updates are local (grads already synchronized).
                 let mut scratch = Meter::new();
-                opt.step(&mut scratch, |f| model.visit_params(f));
+                opt.step(&mut scratch, &mut model);
                 model.zero_grad();
                 // Aggregate metrics over the distinct row bands: sum across
                 // the column fiber (i) and across depth (k); members of a
@@ -134,11 +155,7 @@ pub fn train_tesseract(
                     vec![loss_local, correct_local as f32],
                 ));
                 let packed = grid.col.all_reduce(ctx, packed);
-                let packed = if shape.d > 1 {
-                    grid.depth.all_reduce(ctx, packed)
-                } else {
-                    packed
-                };
+                let packed = if shape.d > 1 { grid.depth.all_reduce(ctx, packed) } else { packed };
                 loss_sum += packed.matrix()[(0, 0)] / b as f32;
                 correct_sum += packed.matrix()[(0, 1)] as usize;
             }

@@ -4,7 +4,7 @@
 //! compares identical models.
 
 use tesseract_comm::{Payload, RankCtx};
-use tesseract_core::layers::linear::ParamRef;
+use tesseract_core::module::{Module, ParamRef};
 use tesseract_core::{TesseractGrid, TesseractLinear, TesseractTransformer, TransformerConfig};
 use tesseract_tensor::nn;
 use tesseract_tensor::{DenseTensor, Matrix, TensorLike};
@@ -47,11 +47,23 @@ impl<T: TensorLike + Payload> TesseractViT<T> {
         vcfg.validate_for_grid(grid.shape.q, grid.shape.d);
         Self {
             embed: TesseractLinear::new(
-                ctx, grid, vcfg.patch_dim, vcfg.body.hidden, true, seed, PID_EMBED,
+                ctx,
+                grid,
+                vcfg.patch_dim,
+                vcfg.body.hidden,
+                true,
+                seed,
+                PID_EMBED,
             ),
             body: TesseractTransformer::new(ctx, grid, vcfg.body, true, seed, 0),
             head: TesseractLinear::new(
-                ctx, grid, vcfg.body.hidden, vcfg.classes, true, seed, PID_HEAD,
+                ctx,
+                grid,
+                vcfg.body.hidden,
+                vcfg.classes,
+                true,
+                seed,
+                PID_HEAD,
             ),
             vcfg,
         }
@@ -60,10 +72,12 @@ impl<T: TensorLike + Payload> TesseractViT<T> {
     fn local_samples(&self, grid: &TesseractGrid) -> usize {
         self.vcfg.body.batch / (grid.shape.q * grid.shape.d)
     }
+}
 
+impl<T: TensorLike + Payload> Module<T> for TesseractViT<T> {
     /// `x_local`: A-type block of the `[b·s, patch_dim]` patch features.
     /// Returns this rank's `[b/(dq), classes/q]` logits block.
-    pub fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x_local: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x_local: &T) -> T {
         let s = self.vcfg.body.seq;
         let e = self.embed.forward(grid, ctx, x_local);
         let feats = self.body.forward(grid, ctx, &e);
@@ -78,33 +92,33 @@ impl<T: TensorLike + Payload> TesseractViT<T> {
         self.head.forward(grid, ctx, &pool)
     }
 
-    /// Backward from the logits gradient; accumulates all parameter grads.
-    pub fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, d_logits: &T) {
+    /// Backward from the logits gradient; accumulates all parameter grads
+    /// and returns the gradient w.r.t. the local patch-feature block.
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, d_logits: &T) -> T {
         let s = self.vcfg.body.seq;
         let d_pool = self.head.backward(grid, ctx, d_logits);
         // Un-pool: every sequence position receives 1/s of the pooled grad.
         let samples = self.local_samples(grid);
         let mut expanded = Vec::with_capacity(samples * s);
         for si in 0..samples {
-            let row = d_pool
-                .slice_rows(si, si + 1, &mut ctx.meter)
-                .scale(1.0 / s as f32, &mut ctx.meter);
+            let row =
+                d_pool.slice_rows(si, si + 1, &mut ctx.meter).scale(1.0 / s as f32, &mut ctx.meter);
             for _ in 0..s {
                 expanded.push(row.clone());
             }
         }
         let d_feats = T::concat_rows(&expanded, &mut ctx.meter);
         let d_embed = self.body.backward(grid, ctx, &d_feats);
-        let _ = self.embed.backward(grid, ctx, &d_embed);
+        self.embed.backward(grid, ctx, &d_embed)
     }
 
-    pub fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
         self.embed.visit_params(f);
         self.body.visit_params(f);
         self.head.visit_params(f);
     }
 
-    pub fn zero_grad(&mut self) {
+    fn zero_grad(&mut self) {
         self.embed.zero_grad();
         self.body.zero_grad();
         self.head.zero_grad();

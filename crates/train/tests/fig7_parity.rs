@@ -32,6 +32,7 @@ fn settings() -> TrainSettings {
         weight_decay: 0.3,
         seed: 42,
         data_seed: 99,
+        clip_grad_norm: None,
     }
 }
 
@@ -56,7 +57,8 @@ fn training_curves_coincide_across_arrangements() {
                 b.loss
             );
             assert!(
-                (a.accuracy - b.accuracy).abs() <= 1.0 / (s.steps_per_epoch * v.body.batch) as f32 + 1e-6,
+                (a.accuracy - b.accuracy).abs()
+                    <= 1.0 / (s.steps_per_epoch * v.body.batch) as f32 + 1e-6,
                 "{name} epoch {e}: serial acc {} vs {}",
                 a.accuracy,
                 b.accuracy

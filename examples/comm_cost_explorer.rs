@@ -8,7 +8,9 @@
 //! Run: `cargo run --release --example comm_cost_explorer [gpu_budget]`
 
 use tesseract_repro::comm::Cluster;
-use tesseract_repro::core::{GridShape, TesseractGrid, TesseractTransformer, TransformerConfig};
+use tesseract_repro::core::{
+    GridShape, Module, TesseractGrid, TesseractTransformer, TransformerConfig,
+};
 use tesseract_repro::tensor::ShadowTensor;
 
 fn main() {
@@ -33,8 +35,7 @@ fn main() {
     for q in 1..=8usize {
         for d in 1..=8usize {
             let p = q * q * d;
-            if p > budget || cfg.batch % (q * d) != 0 || cfg.heads % q != 0 || cfg.hidden % q != 0
-            {
+            if p > budget || cfg.batch % (q * d) != 0 || cfg.heads % q != 0 || cfg.hidden % q != 0 {
                 continue;
             }
             let shape = GridShape::new(q, d);

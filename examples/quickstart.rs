@@ -14,7 +14,13 @@ use tesseract_repro::tensor::{max_rel_diff, DenseTensor, Matrix, Xoshiro256StarS
 fn main() {
     // The arrangement: p = q²·d = 8 processors as 2 layers of 2×2 meshes.
     let shape = GridShape::new(2, 2);
-    println!("Tesseract quickstart: C = A x B on a [{}, {}, {}] grid ({} simulated GPUs)\n", shape.q, shape.q, shape.d, shape.size());
+    println!(
+        "Tesseract quickstart: C = A x B on a [{}, {}, {}] grid ({} simulated GPUs)\n",
+        shape.q,
+        shape.q,
+        shape.d,
+        shape.size()
+    );
 
     // Global problem: A [16, 8] x B [8, 12].
     let mut rng = Xoshiro256StarStar::seed_from_u64(42);

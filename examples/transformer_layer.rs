@@ -9,7 +9,9 @@ use tesseract_repro::baselines::megatron::{MegatronTransformerLayer, MegatronWor
 use tesseract_repro::baselines::serial::SerialTransformerLayer;
 use tesseract_repro::comm::Cluster;
 use tesseract_repro::core::partition::{a_block, combine_c};
-use tesseract_repro::core::{GridShape, TesseractGrid, TesseractTransformerLayer, TransformerConfig};
+use tesseract_repro::core::{
+    GridShape, Module, TesseractGrid, TesseractTransformerLayer, TransformerConfig,
+};
 use tesseract_repro::tensor::{max_rel_diff, DenseTensor, Matrix, Xoshiro256StarStar};
 
 fn main() {
@@ -37,7 +39,8 @@ fn main() {
     let tess = Cluster::a100(shape.size()).run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
-        let mut layer = TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, seed, 0);
+        let mut layer =
+            TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, seed, 0);
         let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
         let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
         let y = layer.forward(&grid, ctx, &x_loc);
@@ -45,7 +48,8 @@ fn main() {
         (y.into_matrix(), dx.into_matrix())
     });
     let y_tess = combine_c(&tess.results.iter().map(|(y, _)| y.clone()).collect::<Vec<_>>(), shape);
-    let dx_tess = combine_c(&tess.results.iter().map(|(_, d)| d.clone()).collect::<Vec<_>>(), shape);
+    let dx_tess =
+        combine_c(&tess.results.iter().map(|(_, d)| d.clone()).collect::<Vec<_>>(), shape);
 
     println!("Tesseract [2,2,2] vs serial oracle:");
     println!("  forward  max rel err: {:.3e}", max_rel_diff(y_tess.data(), y_ser.data()));
@@ -65,8 +69,16 @@ fn main() {
     println!("  backward max rel err: {:.3e}", max_rel_diff(dx_mega.data(), dx_ser.data()));
 
     println!("\ncommunication, one fwd+bwd of this layer:");
-    println!("  Tesseract [2,2,2] (8 GPUs): {} bytes over {} collectives", tess.comm.total_wire_bytes(), tess.comm.total_calls());
-    println!("  Megatron  [4]     (4 GPUs): {} bytes over {} collectives", mega.comm.total_wire_bytes(), mega.comm.total_calls());
+    println!(
+        "  Tesseract [2,2,2] (8 GPUs): {} bytes over {} collectives",
+        tess.comm.total_wire_bytes(),
+        tess.comm.total_calls()
+    );
+    println!(
+        "  Megatron  [4]     (4 GPUs): {} bytes over {} collectives",
+        mega.comm.total_wire_bytes(),
+        mega.comm.total_calls()
+    );
     println!("\nAll schemes compute the same function — the difference is where the");
     println!("data lives and what must be communicated (paper §3).");
 }

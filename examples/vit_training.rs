@@ -30,10 +30,14 @@ fn main() {
         weight_decay: 0.3,
         seed: 42,
         data_seed: 555,
+        clip_grad_norm: None,
     };
     let ds = SyntheticVisionDataset::new(vcfg.classes, vcfg.body.seq, vcfg.patch_dim, 0.3, 3);
 
-    println!("training a {}-class ViT (h={}, {} layers) two ways...\n", vcfg.classes, vcfg.body.hidden, vcfg.body.layers);
+    println!(
+        "training a {}-class ViT (h={}, {} layers) two ways...\n",
+        vcfg.classes, vcfg.body.hidden, vcfg.body.layers
+    );
     let serial = train_serial(vcfg, &ds, settings);
     let tess = train_tesseract(GridShape::new(2, 2), vcfg, &ds, settings);
 

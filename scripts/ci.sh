@@ -5,8 +5,11 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-echo "== build (release, offline) =="
-cargo build --workspace --release --offline
+echo "== fmt check =="
+cargo fmt --check
+
+echo "== build (release, offline, deny warnings) =="
+RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
 
 echo "== test (offline) =="
 cargo test -q --workspace --offline

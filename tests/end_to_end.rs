@@ -5,7 +5,7 @@ use tesseract_repro::baselines::serial::SerialTransformer;
 use tesseract_repro::comm::Cluster;
 use tesseract_repro::core::partition::{a_block, combine_c};
 use tesseract_repro::core::{
-    GridShape, TesseractGrid, TesseractTransformer, TransformerConfig,
+    GridShape, Module, TesseractGrid, TesseractTransformer, TransformerConfig,
 };
 use tesseract_repro::tensor::{
     assert_slices_close, DenseTensor, Matrix, Meter, ShadowTensor, Xoshiro256StarStar,
@@ -31,7 +31,9 @@ fn two_layer_stack_parity_across_all_grids() {
     let x = random(c.rows(), c.hidden, 1);
     let mut serial = SerialTransformer::new(c, true, SEED, 0);
     let y_ser = serial.forward(&x);
-    for shape in [GridShape::new(1, 1), GridShape::new(2, 1), GridShape::new(2, 2), GridShape::new(1, 4)] {
+    for shape in
+        [GridShape::new(1, 1), GridShape::new(2, 1), GridShape::new(2, 2), GridShape::new(1, 4)]
+    {
         let out = Cluster::a100(shape.size()).run(|ctx| {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
@@ -92,14 +94,10 @@ fn every_optimizer_trains_the_distributed_transformer() {
             let _ = model.backward(&grid, ctx, &dy_loc);
             let mut m = Meter::new();
             match opt_name {
-                "sgd" => Sgd::<DenseTensor>::new(0.01, 0.9, 0.0)
-                    .step(&mut m, |f| model.visit_params(f)),
-                "adamw" => AdamW::<DenseTensor>::new(0.01, 0.1)
-                    .step(&mut m, |f| model.visit_params(f)),
-                "lamb" => Lamb::<DenseTensor>::new(0.01, 0.1)
-                    .step(&mut m, |f| model.visit_params(f)),
-                _ => Lars::<DenseTensor>::new(0.5, 0.0)
-                    .step(&mut m, |f| model.visit_params(f)),
+                "sgd" => Sgd::<DenseTensor>::new(0.01, 0.9, 0.0).step(&mut m, &mut model),
+                "adamw" => AdamW::<DenseTensor>::new(0.01, 0.1).step(&mut m, &mut model),
+                "lamb" => Lamb::<DenseTensor>::new(0.01, 0.1).step(&mut m, &mut model),
+                _ => Lars::<DenseTensor>::new(0.5, 0.0).step(&mut m, &mut model),
             }
             let mut first_w = None;
             model.visit_params(&mut |pr| {
@@ -144,6 +142,7 @@ fn vit_training_improves_under_every_grid() {
         weight_decay: 0.1,
         seed: 11,
         data_seed: 22,
+        clip_grad_norm: None,
     };
     let ds = SyntheticVisionDataset::new(vcfg.classes, vcfg.body.seq, vcfg.patch_dim, 0.2, 5);
     for shape in [GridShape::new(2, 1), GridShape::new(2, 2)] {

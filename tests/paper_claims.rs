@@ -4,7 +4,9 @@
 
 use tesseract_repro::comm::{Cluster, CostParams, Topology};
 use tesseract_repro::core::analysis;
-use tesseract_repro::core::{GridShape, TesseractGrid, TesseractTransformer, TransformerConfig};
+use tesseract_repro::core::{
+    GridShape, Module, TesseractGrid, TesseractTransformer, TransformerConfig,
+};
 use tesseract_repro::tensor::ShadowTensor;
 
 /// §1: "the communication needed for Cannon's Algorithm is 31.5 times the
