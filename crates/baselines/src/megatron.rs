@@ -16,6 +16,8 @@
 //! optimizers and harnesses that are generic over the world type drive both
 //! schemes through one interface.
 
+use std::sync::Arc;
+
 use tesseract_comm::{CommGroup, Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
@@ -55,7 +57,7 @@ pub struct MegatronLinear<T> {
     dw: T,
     bias: Option<T>,
     dbias: Option<T>,
-    tape: Tape<T>,
+    tape: Tape<Arc<T>>,
 }
 
 impl<T: TensorLike + Payload> MegatronLinear<T> {
@@ -148,14 +150,17 @@ impl<T: TensorLike + Payload> MegatronLinear<T> {
 impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronLinear<T> {
     /// Column-parallel: `Y_local = X·W_local (+ b_local)`, no communication.
     /// Row-parallel: `Y = all_reduce(X_local·W_local) (+ b)`.
-    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
-        self.tape.push(x.clone());
-        let mut y = x.matmul(&self.w, &mut ctx.meter);
-        if self.split == Split::Row {
-            y = world.group.all_reduce(ctx, y);
-        }
+    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
+        self.tape.push(Arc::clone(x));
+        let y = x.matmul(&self.w, &mut ctx.meter);
+        let mut y = match self.split {
+            // The freshly computed partial is consumed by the in-place
+            // reduction; every rank receives the shared sum uncopied.
+            Split::Row => world.group.all_reduce_shared(ctx, y),
+            Split::Column => Arc::new(y),
+        };
         if let Some(b) = &self.bias {
-            y = y.add_rowvec(b, &mut ctx.meter);
+            y = Arc::new(y.add_rowvec(b, &mut ctx.meter));
         }
         y
     }
@@ -163,7 +168,7 @@ impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronLinear<T> {
     /// Column-parallel: `dX = all_reduce(dY_local·W_localᵀ)`.
     /// Row-parallel: `dX_local = dY·W_localᵀ`, no communication (dY is
     /// replicated after the forward all-reduce).
-    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let x = self.tape.pop("MegatronLinear");
         if let Some(db) = self.dbias.as_mut() {
             let local = dy.col_sums(&mut ctx.meter);
@@ -173,8 +178,8 @@ impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronLinear<T> {
         self.dw.add_assign(&dw, &mut ctx.meter);
         let dx = dy.matmul_nt(&self.w, &mut ctx.meter);
         match self.split {
-            Split::Column => world.group.all_reduce(ctx, dx),
-            Split::Row => dx,
+            Split::Column => world.group.all_reduce_shared(ctx, dx),
+            Split::Row => Arc::new(dx),
         }
     }
 
@@ -198,7 +203,7 @@ impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronLinear<T> {
 pub struct MegatronMlp<T> {
     pub fc1: MegatronLinear<T>,
     pub fc2: MegatronLinear<T>,
-    tape: Tape<T>,
+    tape: Tape<Arc<T>>,
 }
 
 impl<T: TensorLike + Payload> MegatronMlp<T> {
@@ -235,17 +240,17 @@ impl<T: TensorLike + Payload> MegatronMlp<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronMlp<T> {
-    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let pre = self.fc1.forward(world, ctx, x);
-        let act = pre.gelu(&mut ctx.meter);
+        let act = Arc::new(pre.gelu(&mut ctx.meter));
         self.tape.push(pre);
         self.fc2.forward(world, ctx, &act)
     }
 
-    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let d_act = self.fc2.backward(world, ctx, dy);
         let pre = self.tape.pop("MegatronMlp");
-        let d_pre = pre.gelu_backward(&d_act, &mut ctx.meter);
+        let d_pre = Arc::new(pre.gelu_backward(&d_act, &mut ctx.meter));
         self.fc1.backward(world, ctx, &d_pre)
     }
 
@@ -302,7 +307,7 @@ impl<T: TensorLike + Payload> MegatronAttention<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronAttention<T> {
-    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let (s, hd) = (self.cfg.seq, self.cfg.head_dim());
         let b = x.rows() / s;
         let heads_local = self.cfg.heads / world.p;
@@ -333,11 +338,11 @@ impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronAttention<T> 
             sample_outs.push(T::concat_cols(&head_outs, &mut ctx.meter));
         }
         self.tape.push(caches);
-        let merged = T::concat_rows(&sample_outs, &mut ctx.meter);
+        let merged = Arc::new(T::concat_rows(&sample_outs, &mut ctx.meter));
         self.wo.forward(world, ctx, &merged)
     }
 
-    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let (s, hd) = (self.cfg.seq, self.cfg.head_dim());
         let heads_local = self.cfg.heads / world.p;
         let scale = 1.0 / (hd as f32).sqrt();
@@ -371,14 +376,14 @@ impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronAttention<T> 
             dk_rows.push(T::concat_cols(&dk_heads, &mut ctx.meter));
             dv_rows.push(T::concat_cols(&dv_heads, &mut ctx.meter));
         }
-        let d_qkv = T::concat_cols(
+        let d_qkv = Arc::new(T::concat_cols(
             &[
                 T::concat_rows(&dq_rows, &mut ctx.meter),
                 T::concat_rows(&dk_rows, &mut ctx.meter),
                 T::concat_rows(&dv_rows, &mut ctx.meter),
             ],
             &mut ctx.meter,
-        );
+        ));
         self.wqkv.backward(world, ctx, &d_qkv)
     }
 
@@ -400,7 +405,7 @@ impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronAttention<T> 
 pub struct MegatronLayerNorm<T> {
     pub eps: f32,
     hidden: usize,
-    tape: Tape<(T, T)>,
+    tape: Tape<(Arc<T>, T)>,
 }
 
 impl<T: TensorLike + Payload> MegatronLayerNorm<T> {
@@ -412,7 +417,7 @@ impl<T: TensorLike + Payload> MegatronLayerNorm<T> {
 impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronLayerNorm<T> {
     /// The norm is rank-local (activations are replicated), so the world is
     /// unused — it is only here to satisfy the `Module` signature.
-    fn forward(&mut self, _world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, _world: &MegatronWorld, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let n = self.hidden as f32;
         assert_eq!(x.cols(), self.hidden);
         let s1 = x.row_sums(&mut ctx.meter);
@@ -421,12 +426,13 @@ impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronLayerNorm<T> 
         let mean_sq = mean.hadamard(&mean, &mut ctx.meter);
         let var = s2.scale(1.0 / n, &mut ctx.meter).sub(&mean_sq, &mut ctx.meter);
         let inv_std = var.rsqrt_add(self.eps, &mut ctx.meter);
-        let xhat = x.sub_colvec(&mean, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter);
-        self.tape.push((xhat.clone(), inv_std));
+        let xhat =
+            Arc::new(x.sub_colvec(&mean, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter));
+        self.tape.push((Arc::clone(&xhat), inv_std));
         xhat
     }
 
-    fn backward(&mut self, _world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, _world: &MegatronWorld, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let (xhat, inv_std) = self.tape.pop("MegatronLayerNorm");
         let n = self.hidden as f32;
         let t1 = xhat.hadamard(dy, &mut ctx.meter).row_sums(&mut ctx.meter);
@@ -435,7 +441,7 @@ impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronLayerNorm<T> 
             .mul_colvec(&t1, &mut ctx.meter)
             .add_colvec(&t2, &mut ctx.meter)
             .scale(1.0 / n, &mut ctx.meter);
-        dy.sub(&correction, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter)
+        Arc::new(dy.sub(&correction, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter))
     }
 
     fn zero_grad(&mut self) {
@@ -476,22 +482,22 @@ impl<T: TensorLike + Payload> MegatronTransformerLayer<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronTransformerLayer<T> {
-    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let a = self.ln1.forward(world, ctx, x);
         let b = self.attn.forward(world, ctx, &a);
-        let x1 = x.add(&b, &mut ctx.meter);
+        let x1 = Arc::new(x.add(&b, &mut ctx.meter));
         let c = self.ln2.forward(world, ctx, &x1);
         let d = self.mlp.forward(world, ctx, &c);
-        x1.add(&d, &mut ctx.meter)
+        Arc::new(x1.add(&d, &mut ctx.meter))
     }
 
-    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let d_mlp_in = self.mlp.backward(world, ctx, dy);
         let d_x1_from_ln2 = self.ln2.backward(world, ctx, &d_mlp_in);
-        let d_x1 = dy.add(&d_x1_from_ln2, &mut ctx.meter);
+        let d_x1 = Arc::new(dy.add(&d_x1_from_ln2, &mut ctx.meter));
         let d_attn_in = self.attn.backward(world, ctx, &d_x1);
         let d_x_from_ln1 = self.ln1.backward(world, ctx, &d_attn_in);
-        d_x1.add(&d_x_from_ln1, &mut ctx.meter)
+        Arc::new(d_x1.add(&d_x_from_ln1, &mut ctx.meter))
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
@@ -537,11 +543,11 @@ impl<T: TensorLike + Payload> MegatronTransformer<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T, MegatronWorld> for MegatronTransformer<T> {
-    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         self.layers.forward(world, ctx, x)
     }
 
-    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, world: &MegatronWorld, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         self.layers.backward(world, ctx, dy)
     }
 

@@ -9,6 +9,8 @@
 //! the standalone SUMMA implementation in [`crate::summa`]), wrapped in
 //! its own type so experiment code reads naturally.
 
+use std::sync::Arc;
+
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_core::module::{Module, ParamRef};
 use tesseract_core::{GridShape, TesseractGrid, TesseractTransformer, TransformerConfig};
@@ -40,11 +42,11 @@ impl<T: TensorLike + Payload> OptimusTransformer<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T> for OptimusTransformer<T> {
-    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         self.inner.forward(grid, ctx, x)
     }
 
-    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         self.inner.backward(grid, ctx, dy)
     }
 

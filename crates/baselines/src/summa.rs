@@ -115,7 +115,12 @@ mod tests {
             let a_loc = DenseTensor::from_matrix(b_block(&a, shape, i, j));
             let b_loc = DenseTensor::from_matrix(b_block(&b, shape, i, j));
             let summa = summa_matmul(&grid, ctx, &a_loc, &b_loc);
-            let tess = tesseract_matmul(&grid, ctx, &a_loc, &b_loc);
+            let tess = tesseract_matmul(
+                &grid,
+                ctx,
+                &std::sync::Arc::new(a_loc.clone()),
+                &std::sync::Arc::new(b_loc.clone()),
+            );
             summa.matrix() == tess.matrix()
         });
         assert!(out.results.iter().all(|&same| same), "SUMMA must equal Tesseract(d=1) bitwise");

@@ -6,9 +6,11 @@
 //! respectively, to guarantee outputs are the same", and the basis of the
 //! Figure-7 accuracy-parity claim.
 
+use std::sync::Arc;
 use tesseract_baselines::megatron::{MegatronTransformerLayer, MegatronWorld};
 use tesseract_baselines::optimus::OptimusTransformer;
 use tesseract_baselines::serial::{SerialTransformer, SerialTransformerLayer};
+
 use tesseract_comm::Cluster;
 use tesseract_core::partition::{a_block, combine_c};
 use tesseract_core::{
@@ -39,12 +41,12 @@ fn run_tesseract(
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let mut layer = TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, c, true, SEED, 0);
-        let x_loc = DenseTensor::from_matrix(a_block(x, shape, i, j, k));
-        let dy_loc = DenseTensor::from_matrix(a_block(dy, shape, i, j, k));
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(x, shape, i, j, k)));
+        let dy_loc = Arc::new(DenseTensor::from_matrix(a_block(dy, shape, i, j, k)));
         let y = layer.forward(&grid, ctx, &x_loc);
         let dx = layer.backward(&grid, ctx, &dy_loc);
         let wo_grad = layer.attn.wo.weight_grad().clone();
-        (y.into_matrix(), dx.into_matrix(), wo_grad.into_matrix())
+        (y.matrix().clone(), dx.matrix().clone(), wo_grad.into_matrix())
     });
     let ys: Vec<Matrix> = out.results.iter().map(|(y, _, _)| y.clone()).collect();
     let dxs: Vec<Matrix> = out.results.iter().map(|(_, dx, _)| dx.clone()).collect();
@@ -131,8 +133,8 @@ fn megatron_layer_matches_serial() {
         let out = Cluster::a100(p).run(|ctx| {
             let world = MegatronWorld::new(ctx, (0..p).collect());
             let mut layer = MegatronTransformerLayer::<DenseTensor>::new(&world, c, true, SEED, 0);
-            let x_full = DenseTensor::from_matrix(x.clone());
-            let dy_full = DenseTensor::from_matrix(dy.clone());
+            let x_full = Arc::new(DenseTensor::from_matrix(x.clone()));
+            let dy_full = Arc::new(DenseTensor::from_matrix(dy.clone()));
             let y = layer.forward(&world, ctx, &x_full);
             let dx = layer.backward(&world, ctx, &dy_full);
             // Wo is row-split [h/p, h]: rank r holds rows r·h/p..(r+1)·h/p.
@@ -142,7 +144,7 @@ fn megatron_layer_matches_serial() {
                     dwo_block = Some(pr.grad.clone());
                 }
             });
-            (y.into_matrix(), dx.into_matrix(), dwo_block.unwrap().into_matrix())
+            (y.matrix().clone(), dx.matrix().clone(), dwo_block.unwrap().into_matrix())
         });
         // Activations are replicated: every rank must hold the full result.
         for (y, dx, _) in &out.results {
@@ -169,11 +171,11 @@ fn optimus_matches_serial_stack() {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let mut model = OptimusTransformer::<DenseTensor>::new(ctx, &grid, c, true, SEED, 0);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
-        let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+        let dy_loc = Arc::new(DenseTensor::from_matrix(a_block(&dy, shape, i, j, k)));
         let y = model.forward(&grid, ctx, &x_loc);
         let dx = model.backward(&grid, ctx, &dy_loc);
-        (y.into_matrix(), dx.into_matrix())
+        (y.matrix().clone(), dx.matrix().clone())
     });
     let ys: Vec<Matrix> = out.results.iter().map(|(y, _)| y.clone()).collect();
     let dxs: Vec<Matrix> = out.results.iter().map(|(_, dx)| dx.clone()).collect();
@@ -209,8 +211,8 @@ fn weight_gradients_are_depth_synchronized() {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let mut layer = TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, c, true, SEED, 0);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
-        let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+        let dy_loc = Arc::new(DenseTensor::from_matrix(a_block(&dy, shape, i, j, k)));
         let _ = layer.forward(&grid, ctx, &x_loc);
         let _ = layer.backward(&grid, ctx, &dy_loc);
         let mut grads = Vec::new();
@@ -245,8 +247,8 @@ fn serial_weight_gradients_match_assembled_tesseract_gradients() {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let mut layer = TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, c, true, SEED, 0);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
-        let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+        let dy_loc = Arc::new(DenseTensor::from_matrix(a_block(&dy, shape, i, j, k)));
         let _ = layer.forward(&grid, ctx, &x_loc);
         let _ = layer.backward(&grid, ctx, &dy_loc);
         (

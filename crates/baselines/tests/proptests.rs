@@ -14,8 +14,7 @@ use tesseract_comm::Cluster;
 use tesseract_core::partition::{b_block, combine_b};
 use tesseract_core::{GridShape, Module};
 use tesseract_tensor::{
-    init::global_xavier, matmul::matmul, max_rel_diff, DenseTensor, Matrix, TensorLike,
-    Xoshiro256StarStar,
+    init::global_xavier, matmul::matmul, max_rel_diff, DenseTensor, Matrix, Xoshiro256StarStar,
 };
 
 proptest! {
@@ -89,8 +88,9 @@ proptest! {
             // Row-parallel input: this rank's column slice of x.
             let cols = inf / p;
             let r = world.index;
-            let x_loc = DenseTensor::from_matrix(x.slice_cols(r * cols, (r + 1) * cols));
-            lin.forward(&world, ctx, &x_loc).into_matrix()
+            let x_loc =
+                std::sync::Arc::new(DenseTensor::from_matrix(x.slice_cols(r * cols, (r + 1) * cols)));
+            lin.forward(&world, ctx, &x_loc).matrix().clone()
         });
         for y in &out.results {
             prop_assert!(max_rel_diff(y.data(), expected.data()) < 1e-4);

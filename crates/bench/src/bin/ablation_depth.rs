@@ -17,7 +17,10 @@ fn run(shape: GridShape, cfg: TransformerConfig, params: CostParams) -> (f64, f6
     let out = cluster.run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let mut model = TesseractTransformer::<ShadowTensor>::new(ctx, &grid, cfg, true, 0, 0);
-        let x = ShadowTensor::new(cfg.rows() / (shape.q * shape.d), cfg.hidden / shape.q);
+        let x = std::sync::Arc::new(ShadowTensor::new(
+            cfg.rows() / (shape.q * shape.d),
+            cfg.hidden / shape.q,
+        ));
         let y = model.forward(&grid, ctx, &x);
         let _ = model.backward(&grid, ctx, &y);
         ctx.flush_compute();

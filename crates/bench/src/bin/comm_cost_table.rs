@@ -65,16 +65,16 @@ fn main() {
     // SUMMA / 2-D Tesseract on [8, 8, 1].
     let summa = Cluster::a100(64).run(|ctx| {
         let grid = TesseractGrid::new(ctx, GridShape::new(8, 1), 0);
-        let a = ShadowTensor::new(a_rows / 8, n / 8);
-        let b = ShadowTensor::new(n / 8, n / 8);
+        let a = std::sync::Arc::new(ShadowTensor::new(a_rows / 8, n / 8));
+        let b = std::sync::Arc::new(ShadowTensor::new(n / 8, n / 8));
         let _ = tesseract_matmul(&grid, ctx, &a, &b);
     });
 
     // Tesseract on [4, 4, 4].
     let tess = Cluster::a100(64).run(|ctx| {
         let grid = TesseractGrid::new(ctx, GridShape::new(4, 4), 0);
-        let a = ShadowTensor::new(a_rows / 16, n / 4);
-        let b = ShadowTensor::new(n / 4, n / 4);
+        let a = std::sync::Arc::new(ShadowTensor::new(a_rows / 16, n / 4));
+        let b = std::sync::Arc::new(ShadowTensor::new(n / 4, n / 4));
         let _ = tesseract_matmul(&grid, ctx, &a, &b);
     });
 

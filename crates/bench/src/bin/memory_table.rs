@@ -74,7 +74,7 @@ fn main() {
         let out = Cluster::a100(shape.size()).run(|ctx| {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let mut model = TesseractTransformer::<ShadowTensor>::new(ctx, &grid, cfg, true, 0, 0);
-            let x = ShadowTensor::new(cfg.rows() / (q * d), cfg.hidden / q);
+            let x = std::sync::Arc::new(ShadowTensor::new(cfg.rows() / (q * d), cfg.hidden / q));
             let _ = model.forward(&grid, ctx, &x);
             ctx.flush_compute();
         });
@@ -89,7 +89,7 @@ fn main() {
         let out = Cluster::a100(p).run(|ctx| {
             let world = MegatronWorld::new(ctx, (0..p).collect());
             let mut model = MegatronTransformer::<ShadowTensor>::new(&world, cfg, true, 0, 0);
-            let x = ShadowTensor::new(cfg.rows(), cfg.hidden);
+            let x = std::sync::Arc::new(ShadowTensor::new(cfg.rows(), cfg.hidden));
             let _ = model.forward(&world, ctx, &x);
             ctx.flush_compute();
         });

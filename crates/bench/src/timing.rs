@@ -48,7 +48,7 @@ pub fn time_tesseract(shape: GridShape, cfg: TransformerConfig) -> SchemeTiming 
         let grid = TesseractGrid::new(ctx, shape, 0);
         let mut model = TesseractTransformer::<ShadowTensor>::new(ctx, &grid, cfg, true, 0, 0);
         let rows_local = cfg.rows() / (shape.q * shape.d);
-        let x = ShadowTensor::new(rows_local, cfg.hidden / shape.q);
+        let x = std::sync::Arc::new(ShadowTensor::new(rows_local, cfg.hidden / shape.q));
         let _ = model.forward(&grid, ctx, &x);
         ctx.flush_compute();
         let t_fwd = ctx.clock();
@@ -72,7 +72,7 @@ pub fn time_megatron(p: usize, cfg: TransformerConfig) -> SchemeTiming {
         let world = MegatronWorld::new(ctx, (0..p).collect());
         let mut model = MegatronTransformer::<ShadowTensor>::new(&world, cfg, true, 0, 0);
         // Activations are replicated: every rank sees the full batch.
-        let x = ShadowTensor::new(cfg.rows(), cfg.hidden);
+        let x = std::sync::Arc::new(ShadowTensor::new(cfg.rows(), cfg.hidden));
         let _ = model.forward(&world, ctx, &x);
         ctx.flush_compute();
         let t_fwd = ctx.clock();

@@ -115,6 +115,7 @@ impl Cluster {
 mod tests {
     use super::*;
     use crate::cost::CollectiveOp;
+    use crate::group::Payload;
     use tesseract_tensor::{DenseTensor, Matrix, TensorLike};
 
     #[test]
@@ -248,6 +249,41 @@ mod tests {
         let first = out.results[0];
         assert!(out.results.iter().all(|&c| (c - first).abs() < 1e-12));
         assert!(first > 0.0);
+    }
+
+    #[test]
+    fn broadcast_charge_is_size_independent_of_receivers_and_synchronizes_clocks() {
+        // Broadcast is charged in two fixed parts — the zero-byte rendezvous
+        // latency plus the size-dependent `recharge` once the root's payload
+        // size is known (the charging the calibrated tables were produced
+        // with). Every member must land on exactly that clock, bitwise, and
+        // payload *copies* must never move it: the shared path and the
+        // cloning wrapper charge identically.
+        let cluster = Cluster::a100(4);
+        let out = cluster.run(|ctx| {
+            let world = ctx.world_group();
+            let payload =
+                (ctx.rank == 0).then(|| DenseTensor::from_matrix(Matrix::full(4, 4, 1.0)));
+            let got = world.broadcast_shared(ctx, 0, payload.map(Arc::new));
+            let link = ctx.topology.worst_link(&(0..4).collect::<Vec<_>>());
+            let expected = ctx.params.collective_time(CollectiveOp::Broadcast, 4, 0, link)
+                + ctx.params.collective_time(CollectiveOp::Broadcast, 4, got.wire_size(), link);
+            ctx.flush_compute();
+            let after_shared = ctx.clock();
+            // The owned wrapper deep-copies the result on every member; the
+            // copy must cost host time only, never simulated time.
+            let payload = (ctx.rank == 0).then(|| (*got).clone());
+            let _ = world.broadcast(ctx, 0, payload);
+            ctx.flush_compute();
+            (after_shared, ctx.clock() - after_shared, expected)
+        });
+        let (first_clock, _, expected) = out.results[0];
+        assert!(expected > 0.0);
+        for &(clock, second_charge, _) in &out.results {
+            assert_eq!(clock, first_clock, "member clocks diverged after broadcast");
+            assert_eq!(clock, expected, "broadcast charge must be rendezvous + recharge");
+            assert_eq!(second_charge, expected, "cloning wrapper must charge the same sim time");
+        }
     }
 
     #[test]

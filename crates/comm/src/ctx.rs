@@ -35,6 +35,8 @@ pub struct RankCtx {
     total_flops: f64,
     total_kernels: u64,
     total_bytes_allocated: u64,
+    total_payload_copies: u64,
+    total_payload_copy_bytes: u64,
     fabric: Arc<Fabric>,
     stats: Arc<StatsCollector>,
 }
@@ -60,6 +62,8 @@ impl RankCtx {
             total_flops: 0.0,
             total_kernels: 0,
             total_bytes_allocated: 0,
+            total_payload_copies: 0,
+            total_payload_copy_bytes: 0,
             fabric,
             stats,
         }
@@ -83,6 +87,10 @@ impl RankCtx {
     pub fn flush_compute(&mut self) {
         let m = self.meter.take();
         self.total_bytes_allocated += m.bytes_allocated;
+        // Payload copies are accumulated but deliberately excluded from
+        // `compute_time`: they are host memcpys outside the α–β model.
+        self.total_payload_copies += m.payload_copies;
+        self.total_payload_copy_bytes += m.payload_copy_bytes;
         if m.flops > 0.0 || m.kernels > 0 {
             let t = self.params.compute_time(m.flops, m.kernels);
             self.clock += t;
@@ -123,6 +131,8 @@ impl RankCtx {
             flops: self.total_flops,
             kernels: self.total_kernels,
             bytes_allocated: self.total_bytes_allocated,
+            payload_copies: self.total_payload_copies,
+            payload_copy_bytes: self.total_payload_copy_bytes,
         }
     }
 }
@@ -145,4 +155,9 @@ pub struct RankReport {
     /// activation-traffic proxy; weights are counted once at construction
     /// via the concat in layer constructors).
     pub bytes_allocated: u64,
+    /// Host-side deep copies of collective payloads this rank performed
+    /// (zero on the shared, read-only collective path).
+    pub payload_copies: u64,
+    /// Bytes duplicated by those copies.
+    pub payload_copy_bytes: u64,
 }

@@ -166,6 +166,94 @@ impl Fabric {
         }
     }
 
+    /// N-way rendezvous that reduces the deposits into one shared value
+    /// instead of handing every member the full vector. Every member
+    /// deposits its payload *by value*; the last arriver moves all `n`
+    /// deposits out of the slot and folds them with `combine` **outside the
+    /// fabric lock** (a large reduction must not serialize unrelated
+    /// traffic), then publishes the result as a single `Arc` that every
+    /// member clones out. No deposit is ever copied: the combiner consumes
+    /// them, so the fold can reuse the first part's buffer in place.
+    ///
+    /// The slot cannot be garbage-collected mid-combine because `taken`
+    /// only advances once `result` is published.
+    pub fn exchange_reduce<P, F>(
+        &self,
+        key: SlotKey,
+        my_index: usize,
+        n: usize,
+        payload: P,
+        entry_vt: f64,
+        combine: F,
+    ) -> (f64, Arc<P>)
+    where
+        P: Send + Sync + 'static,
+        F: FnOnce(Vec<P>) -> P,
+    {
+        let mut state = lock_fabric(&self.state);
+        let is_last = {
+            let slot = state.slots.entry(key).or_insert_with(|| Slot::new(n));
+            assert_eq!(slot.deposits.len(), n, "group size disagreement at rendezvous {key:?}");
+            assert!(
+                slot.deposits[my_index].is_none() && slot.result.is_none(),
+                "member {my_index} deposited twice at rendezvous {key:?}"
+            );
+            slot.deposits[my_index] = Some(Box::new(payload));
+            slot.entry_vts.push(entry_vt);
+            slot.arrived += 1;
+            slot.arrived == n
+        };
+        if is_last {
+            let (max_vt, parts) = {
+                let slot = state.slots.get_mut(&key).expect("slot present until taken by all");
+                let max_vt = slot.entry_vts.iter().copied().fold(f64::MIN, f64::max);
+                let parts: Vec<P> = slot
+                    .deposits
+                    .iter_mut()
+                    .map(|d| {
+                        *d.take()
+                            .expect("all deposits present")
+                            .downcast::<P>()
+                            .expect("payload type mismatch within one rendezvous")
+                    })
+                    .collect();
+                (max_vt, parts)
+            };
+            drop(state);
+            let combined = combine(parts);
+            state = lock_fabric(&self.state);
+            let slot = state.slots.get_mut(&key).expect("slot present until taken by all");
+            slot.result = Some((max_vt, Arc::new(combined)));
+            self.cond.notify_all();
+        }
+
+        loop {
+            if let Some(slot) = state.slots.get_mut(&key) {
+                if let Some((max_vt, result)) = slot.result.clone() {
+                    slot.taken += 1;
+                    if slot.taken == n {
+                        state.slots.remove(&key);
+                    }
+                    let arc = result
+                        .downcast::<P>()
+                        .expect("payload type mismatch within one rendezvous");
+                    return (max_vt, arc);
+                }
+            }
+            let (guard, timed_out) = self
+                .cond
+                .wait_timeout(state, rendezvous_timeout())
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+            if timed_out.timed_out() {
+                panic!(
+                    "rendezvous {key:?} timed out (member {my_index} of {n}); \
+                     a peer likely panicked or collectives were issued out of order"
+                );
+            }
+        }
+    }
+
     /// Deposits a point-to-point message; never blocks.
     pub fn send<P: Send + 'static>(&self, chan: ChanKey, payload: P, send_vt: f64) {
         let mut state = lock_fabric(&self.state);
@@ -260,6 +348,60 @@ mod tests {
         for (_, vec) in results {
             assert_eq!(vec.as_ref(), &vec![None, Some(99), None]);
         }
+    }
+
+    #[test]
+    fn exchange_reduce_combines_once_and_shares_the_result() {
+        let fabric = Arc::new(Fabric::new());
+        let n = 4;
+        let results: Vec<(f64, Arc<Vec<u64>>)> = thread::scope(|s| {
+            let handles: Vec<_> = (0..n)
+                .map(|i| {
+                    let f = Arc::clone(&fabric);
+                    s.spawn(move || {
+                        f.exchange_reduce((9, 0), i, n, vec![1u64 << (8 * i)], i as f64, |parts| {
+                            // Fold in ascending member order, in place.
+                            let mut it = parts.into_iter();
+                            let mut acc = it.next().unwrap();
+                            for p in it {
+                                acc[0] += p[0];
+                            }
+                            acc
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (max_vt, v) in &results {
+            assert_eq!(*max_vt, 3.0);
+            assert_eq!(v[0], 0x01010101);
+        }
+        // Every member holds the *same* allocation, not a copy.
+        assert!(Arc::ptr_eq(&results[0].1, &results[1].1));
+        assert!(lock_fabric(&fabric.state).slots.is_empty(), "slots must be garbage-collected");
+    }
+
+    #[test]
+    fn exchange_reduce_slot_is_reusable() {
+        let fabric = Arc::new(Fabric::new());
+        for round in 0..3u64 {
+            let results: Vec<_> = thread::scope(|s| {
+                let handles: Vec<_> = (0..2)
+                    .map(|i| {
+                        let f = Arc::clone(&fabric);
+                        s.spawn(move || {
+                            f.exchange_reduce((11, round), i, 2, i as u64 + round, 0.0, |parts| {
+                                parts.into_iter().sum::<u64>()
+                            })
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            assert_eq!(*results[0].1, 1 + 2 * round);
+        }
+        assert!(lock_fabric(&fabric.state).slots.is_empty());
     }
 
     #[test]

@@ -13,8 +13,27 @@
 //!
 //! Reductions combine deposits in ascending member order, so results are
 //! bitwise deterministic run-to-run.
+//!
+//! # Zero-copy collectives
+//!
+//! Read-only payloads travel as `Arc<P>`: [`CommGroup::broadcast_shared`]
+//! and [`CommGroup::all_gather_shared`] hand every receiver an `Arc` clone
+//! of the root's deposit — the payload is materialized exactly once per
+//! rendezvous regardless of group size. [`CommGroup::reduce_shared`] and
+//! [`CommGroup::all_reduce_shared`] take deposits *by value* and fold them
+//! in place (ascending member order, once per rendezvous instead of once
+//! per member). The owned-value collectives remain as compatibility
+//! wrappers; every deep copy they make is recorded in
+//! [`crate::stats::OpStats::copies`] and `Meter::payload_copies`, so the
+//! cloning path is observable and copy regressions are testable.
+//!
+//! Ownership rule: an `Arc` returned from a shared collective may be read
+//! freely but must never be mutated through `Arc::get_mut` — other ranks
+//! (or the fabric slot, transiently) may hold clones. Use
+//! `Arc::make_mut` for copy-on-write or clone explicitly.
 
 use std::cell::Cell;
+use std::sync::Arc;
 
 use tesseract_tensor::TensorLike;
 
@@ -55,6 +74,20 @@ impl Payload for () {
     }
 
     fn combine(&mut self, _other: &Self) {}
+}
+
+/// `Arc<P>` travels through collectives and point-to-point channels without
+/// copying the inner payload (the pipeline sends activations this way).
+/// Reducing through the `Arc` uses copy-on-write: uniquely-owned deposits
+/// are combined in place, shared ones are cloned first.
+impl<P: Payload> Payload for Arc<P> {
+    fn wire_size(&self) -> usize {
+        (**self).wire_size()
+    }
+
+    fn combine(&mut self, other: &Self) {
+        Arc::make_mut(self).combine(other);
+    }
 }
 
 impl<P: Payload> Payload for Vec<P> {
@@ -131,49 +164,112 @@ impl CommGroup {
     }
 
     /// Runs one rendezvous and applies clock/cost/stat accounting.
-    /// `bytes` is the per-rank payload size used by the cost formulas.
+    /// `bytes` is the per-rank payload size used by the cost formulas;
+    /// `None` means the size is only known after the rendezvous (broadcast,
+    /// scatter): the rendezvous is then charged as a zero-byte collective
+    /// (latency only, no stats), and [`CommGroup::recharge`] applies the
+    /// size-dependent cost and records stats once the size is known — the
+    /// exact charging the calibrated tables were produced with.
     fn sync<P: Send + Sync + 'static>(
         &self,
         ctx: &mut RankCtx,
         op: CollectiveOp,
-        bytes: usize,
+        bytes: Option<usize>,
         payload: Option<P>,
-        record: bool,
-    ) -> std::sync::Arc<Vec<Option<P>>> {
+    ) -> Arc<Vec<Option<P>>> {
         ctx.flush_compute();
         let key = (self.id, self.next_seq());
         let entry = ctx.clock();
         let (max_vt, deposits) =
             ctx.fabric().exchange(key, self.my_index, self.size(), payload, entry);
         let link = ctx.topology.worst_link(&self.ranks);
-        let cost = ctx.params.collective_time(op, self.size(), bytes, link);
+        let cost = ctx.params.collective_time(op, self.size(), bytes.unwrap_or(0), link);
         ctx.advance_comm(max_vt + cost);
-        if record && self.my_index == 0 {
-            let wire = ctx.params.wire_bytes(op, self.size(), bytes);
+        if bytes.is_some() && self.my_index == 0 {
+            let wire = ctx.params.wire_bytes(op, self.size(), bytes.unwrap_or(0));
             ctx.stats().record(op, wire, cost);
         }
         deposits
     }
 
-    /// Synchronizes all members without moving data.
-    pub fn barrier(&self, ctx: &mut RankCtx) {
-        let _ = self.sync::<()>(ctx, CollectiveOp::Barrier, 0, Some(()), true);
+    /// Runs one reducing rendezvous: deposits every member's payload by
+    /// value, folds them in ascending member order exactly once (on the
+    /// last-arriving rank, in place — no deposit is cloned), and hands
+    /// every member an `Arc` of the combined result.
+    fn sync_reduce<P: Payload>(&self, ctx: &mut RankCtx, op: CollectiveOp, payload: P) -> Arc<P> {
+        ctx.flush_compute();
+        let bytes = payload.wire_size();
+        let key = (self.id, self.next_seq());
+        let entry = ctx.clock();
+        let (max_vt, combined) = ctx.fabric().exchange_reduce(
+            key,
+            self.my_index,
+            self.size(),
+            payload,
+            entry,
+            combine_parts_in_order,
+        );
+        let link = ctx.topology.worst_link(&self.ranks);
+        let cost = ctx.params.collective_time(op, self.size(), bytes, link);
+        ctx.advance_comm(max_vt + cost);
+        if self.my_index == 0 {
+            let wire = ctx.params.wire_bytes(op, self.size(), bytes);
+            ctx.stats().record(op, wire, cost);
+        }
+        combined
     }
 
-    /// Root (by member index) provides the payload; everyone receives it.
-    pub fn broadcast<P: Payload>(&self, ctx: &mut RankCtx, root: usize, payload: Option<P>) -> P {
+    /// Clones an owned value out of a shared collective result, recording
+    /// the copy in both the run-wide comm stats and this rank's meter. The
+    /// owned compatibility wrappers route every materialization through
+    /// here so copy counts stay deterministic: broadcast/all-reduce make
+    /// one per member, all-gather `n` per member, reduce one at the root.
+    fn clone_counted<P: Payload>(&self, ctx: &mut RankCtx, op: CollectiveOp, payload: &P) -> P {
+        let bytes = payload.wire_size() as u64;
+        ctx.stats().record_copy(op, bytes);
+        ctx.meter.record_payload_copy(bytes);
+        payload.clone()
+    }
+
+    /// Synchronizes all members without moving data.
+    pub fn barrier(&self, ctx: &mut RankCtx) {
+        // Barrier cost is bytes-independent, so it is charged in `sync`
+        // directly (no deferred recharge needed).
+        let _ = self.sync::<()>(ctx, CollectiveOp::Barrier, Some(0), Some(()));
+    }
+
+    /// Zero-copy broadcast: the root (by member index) deposits an `Arc` of
+    /// its payload — without cloning its local block — and every member
+    /// (root included) receives an `Arc` clone of that single allocation.
+    /// The payload is materialized exactly once per rendezvous regardless
+    /// of the group size.
+    pub fn broadcast_shared<P: Payload>(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        payload: Option<Arc<P>>,
+    ) -> Arc<P> {
         assert_eq!(
             payload.is_some(),
             self.my_index == root,
             "broadcast: exactly the root must supply the payload"
         );
         // The root's payload size drives the cost; non-roots don't know it
-        // yet, which is fine: cost is applied identically from the deposit.
-        let deposits = self.sync(ctx, CollectiveOp::Broadcast, 0, payload, false);
-        let value = deposits[root].as_ref().expect("root deposited").clone();
-        // Re-charge time/stats now that the size is known (sync charged 0).
+        // yet, so the rendezvous charges the zero-byte latency and
+        // `recharge` adds the size-dependent cost identically on every
+        // member once the size is known.
+        let deposits = self.sync(ctx, CollectiveOp::Broadcast, None, payload);
+        let value = Arc::clone(deposits[root].as_ref().expect("root deposited"));
         self.recharge(ctx, CollectiveOp::Broadcast, value.wire_size());
         value
+    }
+
+    /// Root (by member index) provides the payload; everyone receives an
+    /// owned copy. Compatibility wrapper over [`CommGroup::broadcast_shared`]:
+    /// makes one counted deep copy per member.
+    pub fn broadcast<P: Payload>(&self, ctx: &mut RankCtx, root: usize, payload: Option<P>) -> P {
+        let shared = self.broadcast_shared(ctx, root, payload.map(Arc::new));
+        self.clone_counted(ctx, CollectiveOp::Broadcast, &*shared)
     }
 
     /// Adds the cost of an op whose byte size was only known after the
@@ -189,43 +285,81 @@ impl CommGroup {
         }
     }
 
-    /// Sum-reduction to `root`; only the root receives the combined value.
-    pub fn reduce<P: Payload>(&self, ctx: &mut RankCtx, root: usize, payload: P) -> Option<P> {
-        let bytes = payload.wire_size();
-        let deposits = self.sync(ctx, CollectiveOp::Reduce, bytes, Some(payload), true);
-        if self.my_index == root {
-            Some(combine_in_order(&deposits))
-        } else {
-            None
-        }
+    /// In-place sum-reduction to `root`: every member's payload is consumed
+    /// by value and folded without cloning; only the root receives the
+    /// combined value (shared, not copied).
+    pub fn reduce_shared<P: Payload>(
+        &self,
+        ctx: &mut RankCtx,
+        root: usize,
+        payload: P,
+    ) -> Option<Arc<P>> {
+        let combined = self.sync_reduce(ctx, CollectiveOp::Reduce, payload);
+        (self.my_index == root).then_some(combined)
     }
 
-    /// Sum-reduction delivered to every member.
+    /// Sum-reduction to `root`, returning an owned value. Compatibility
+    /// wrapper over [`CommGroup::reduce_shared`]: one counted copy at root.
+    pub fn reduce<P: Payload>(&self, ctx: &mut RankCtx, root: usize, payload: P) -> Option<P> {
+        let combined = self.sync_reduce(ctx, CollectiveOp::Reduce, payload);
+        (self.my_index == root).then(|| self.clone_counted(ctx, CollectiveOp::Reduce, &*combined))
+    }
+
+    /// In-place sum-reduction delivered to every member as one shared
+    /// allocation: payloads are consumed by value, folded exactly once (in
+    /// ascending member order), never cloned.
+    pub fn all_reduce_shared<P: Payload>(&self, ctx: &mut RankCtx, payload: P) -> Arc<P> {
+        self.sync_reduce(ctx, CollectiveOp::AllReduce, payload)
+    }
+
+    /// Sum-reduction delivered to every member as an owned value.
+    /// Compatibility wrapper over [`CommGroup::all_reduce_shared`]: one
+    /// counted copy per member.
     pub fn all_reduce<P: Payload>(&self, ctx: &mut RankCtx, payload: P) -> P {
+        let combined = self.sync_reduce(ctx, CollectiveOp::AllReduce, payload);
+        self.clone_counted(ctx, CollectiveOp::AllReduce, &*combined)
+    }
+
+    /// Zero-copy all-gather: every member receives `Arc` clones of every
+    /// member's deposit, in member order. Each payload is materialized once
+    /// cluster-wide instead of once per receiver (the owned wrapper's
+    /// O(n²) clones).
+    pub fn all_gather_shared<P: Payload>(&self, ctx: &mut RankCtx, payload: Arc<P>) -> Vec<Arc<P>> {
         let bytes = payload.wire_size();
-        let deposits = self.sync(ctx, CollectiveOp::AllReduce, bytes, Some(payload), true);
-        combine_in_order(&deposits)
+        let deposits = self.sync(ctx, CollectiveOp::AllGather, Some(bytes), Some(payload));
+        deposits.iter().map(|d| Arc::clone(d.as_ref().expect("all deposited"))).collect()
     }
 
     /// Every member receives every member's payload, in member order.
+    /// Compatibility wrapper over [`CommGroup::all_gather_shared`]: `n`
+    /// counted copies per member.
     pub fn all_gather<P: Payload>(&self, ctx: &mut RankCtx, payload: P) -> Vec<P> {
-        let bytes = payload.wire_size();
-        let deposits = self.sync(ctx, CollectiveOp::AllGather, bytes, Some(payload), true);
-        deposits.iter().map(|d| d.as_ref().expect("all deposited").clone()).collect()
+        let shared = self.all_gather_shared(ctx, Arc::new(payload));
+        shared.iter().map(|d| self.clone_counted(ctx, CollectiveOp::AllGather, &**d)).collect()
     }
 
-    /// Root receives every member's payload, in member order.
+    /// Root receives every member's payload, in member order (`n` counted
+    /// copies, all at the root).
     pub fn gather<P: Payload>(&self, ctx: &mut RankCtx, root: usize, payload: P) -> Option<Vec<P>> {
         let bytes = payload.wire_size();
-        let deposits = self.sync(ctx, CollectiveOp::Gather, bytes, Some(payload), true);
-        if self.my_index == root {
-            Some(deposits.iter().map(|d| d.as_ref().expect("all deposited").clone()).collect())
-        } else {
-            None
-        }
+        let deposits = self.sync(ctx, CollectiveOp::Gather, Some(bytes), Some(Arc::new(payload)));
+        (self.my_index == root).then(|| {
+            deposits
+                .iter()
+                .map(|d| {
+                    self.clone_counted(
+                        ctx,
+                        CollectiveOp::Gather,
+                        &**d.as_ref().expect("all deposited"),
+                    )
+                })
+                .collect()
+        })
     }
 
-    /// Root provides one payload per member; each member receives its own.
+    /// Root provides one payload per member; each member receives its own
+    /// (one counted copy per member — the root's part vector is deposited
+    /// whole, without cloning).
     pub fn scatter<P: Payload>(&self, ctx: &mut RankCtx, root: usize, parts: Option<Vec<P>>) -> P {
         if let Some(ref p) = parts {
             assert_eq!(p.len(), self.size(), "scatter: need one part per member");
@@ -235,22 +369,27 @@ impl CommGroup {
             self.my_index == root,
             "scatter: exactly the root must supply the parts"
         );
-        let deposits = self.sync(ctx, CollectiveOp::Scatter, 0, parts, false);
+        let deposits = self.sync(ctx, CollectiveOp::Scatter, None, parts.map(Arc::new));
         let all = deposits[root].as_ref().expect("root deposited");
-        let mine = all[self.my_index].clone();
+        let mine = self.clone_counted(ctx, CollectiveOp::Scatter, &all[self.my_index]);
         self.recharge(ctx, CollectiveOp::Scatter, mine.wire_size());
         mine
     }
 
     /// Cyclic shift: every member sends its payload `offset` positions
-    /// forward (member order, wrapping) and receives from `offset` behind.
-    /// `offset` may be negative. This is Cannon's primitive.
+    /// forward (member order, wrapping) and receives from `offset` behind
+    /// (one counted copy per member). `offset` may be negative. This is
+    /// Cannon's primitive.
     pub fn shift<P: Payload>(&self, ctx: &mut RankCtx, offset: isize, payload: P) -> P {
         let n = self.size() as isize;
         let bytes = payload.wire_size();
-        let deposits = self.sync(ctx, CollectiveOp::Shift, bytes, Some(payload), true);
+        let deposits = self.sync(ctx, CollectiveOp::Shift, Some(bytes), Some(Arc::new(payload)));
         let src = (self.my_index as isize - offset).rem_euclid(n) as usize;
-        deposits[src].as_ref().expect("all deposited").clone()
+        self.clone_counted(
+            ctx,
+            CollectiveOp::Shift,
+            &**deposits[src].as_ref().expect("all deposited"),
+        )
     }
 
     /// Point-to-point send to another member (by member index).
@@ -283,12 +422,14 @@ impl CommGroup {
     }
 }
 
-/// Combines deposits in ascending member order (deterministic reduction).
-fn combine_in_order<P: Payload>(deposits: &[Option<P>]) -> P {
-    let mut iter = deposits.iter();
-    let mut acc = iter.next().expect("non-empty group").as_ref().expect("deposited").clone();
+/// Folds deposits in ascending member order (deterministic reduction),
+/// consuming them: member 0's buffer becomes the accumulator in place, so
+/// an n-way reduction performs zero payload copies.
+fn combine_parts_in_order<P: Payload>(parts: Vec<P>) -> P {
+    let mut iter = parts.into_iter();
+    let mut acc = iter.next().expect("non-empty group");
     for d in iter {
-        acc.combine(d.as_ref().expect("deposited"));
+        acc.combine(&d);
     }
     acc
 }
@@ -305,6 +446,33 @@ mod tests {
         assert_ne!(a, b);
         assert_ne!(a, c);
         assert_eq!(a, group_id("row", &[0, 1]));
+    }
+
+    #[test]
+    fn arc_payload_delegates_size_and_combines_copy_on_write() {
+        use tesseract_tensor::{DenseTensor, Matrix};
+        let base = Arc::new(DenseTensor::from_matrix(Matrix::full(2, 2, 1.0)));
+        assert_eq!(base.wire_size(), 16);
+        // A uniquely-owned accumulator combines in place…
+        let mut unique = Arc::new(DenseTensor::from_matrix(Matrix::full(2, 2, 2.0)));
+        let ptr_before = Arc::as_ptr(&unique);
+        unique.combine(&base);
+        assert_eq!(Arc::as_ptr(&unique), ptr_before, "unique Arc must not reallocate");
+        assert_eq!(unique.matrix().data(), &[3.0; 4]);
+        // …while a shared one copies-on-write, leaving other holders intact.
+        let mut shared = Arc::clone(&base);
+        shared.combine(&base);
+        assert_eq!(shared.matrix().data(), &[2.0; 4]);
+        assert_eq!(base.matrix().data(), &[1.0; 4], "original holder must be untouched");
+    }
+
+    #[test]
+    fn combine_parts_in_order_is_left_fold_over_member_order() {
+        use tesseract_tensor::{DenseTensor, Matrix};
+        let parts: Vec<DenseTensor> =
+            (0..4).map(|i| DenseTensor::from_matrix(Matrix::full(1, 2, i as f32))).collect();
+        let acc = combine_parts_in_order(parts);
+        assert_eq!(acc.matrix().data(), &[6.0, 6.0]);
     }
 
     #[test]

@@ -18,6 +18,13 @@ pub struct OpStats {
     pub wire_bytes: u64,
     /// Total simulated seconds spent (per call, not multiplied by ranks).
     pub time: f64,
+    /// Host-side deep copies of payloads made on behalf of this op, summed
+    /// over *all* ranks (unlike `calls`/`wire_bytes`, which count each
+    /// logical operation once): every receiver-side clone is a real memcpy
+    /// and each one is recorded where it happens.
+    pub copies: u64,
+    /// Bytes duplicated by those copies.
+    pub copy_bytes: u64,
 }
 
 /// Shared, thread-safe statistics collector for one cluster run.
@@ -39,6 +46,17 @@ impl StatsCollector {
         entry.calls += 1;
         entry.wire_bytes += wire_bytes;
         entry.time += time;
+    }
+
+    /// Records one host-side payload copy of `bytes` bytes made on behalf
+    /// of `op`. Called by every rank that clones (root deposits, receiver
+    /// materializations in the owned compatibility wrappers), so the totals
+    /// measure real memcpy traffic across the whole cluster.
+    pub fn record_copy(&self, op: CollectiveOp, bytes: u64) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let entry = inner.entry(op).or_default();
+        entry.copies += 1;
+        entry.copy_bytes += bytes;
     }
 
     /// Snapshot of all op totals.
@@ -68,18 +86,32 @@ impl CommStats {
         self.per_op.values().map(|s| s.calls).sum()
     }
 
+    /// Total host-side payload copies across all collective types.
+    pub fn total_copies(&self) -> u64 {
+        self.per_op.values().map(|s| s.copies).sum()
+    }
+
+    /// Total bytes duplicated by host-side payload copies.
+    pub fn total_copy_bytes(&self) -> u64 {
+        self.per_op.values().map(|s| s.copy_bytes).sum()
+    }
+
     /// Renders a small human-readable table (used by examples and bins).
     pub fn render_table(&self) -> String {
-        let mut out = String::from("collective    calls      wire bytes        sim time (s)\n");
+        let mut out = String::from(
+            "collective    calls      wire bytes        sim time (s)  copies      copy bytes\n",
+        );
         let mut ops: Vec<_> = self.per_op.iter().collect();
         ops.sort_by_key(|(op, _)| op.name());
         for (op, s) in ops {
             out.push_str(&format!(
-                "{:<12} {:>6} {:>15} {:>19.6}\n",
+                "{:<12} {:>6} {:>15} {:>19.6} {:>7} {:>15}\n",
                 op.name(),
                 s.calls,
                 s.wire_bytes,
-                s.time
+                s.time,
+                s.copies,
+                s.copy_bytes
             ));
         }
         out
@@ -107,6 +139,23 @@ mod tests {
     fn missing_op_reads_zero() {
         let s = StatsCollector::new().snapshot();
         assert_eq!(s.get(CollectiveOp::Shift), OpStats::default());
+    }
+
+    #[test]
+    fn copies_are_tracked_separately_from_wire_traffic() {
+        let c = StatsCollector::new();
+        c.record(CollectiveOp::Broadcast, 100, 0.5);
+        c.record_copy(CollectiveOp::Broadcast, 64);
+        c.record_copy(CollectiveOp::Broadcast, 64);
+        c.record_copy(CollectiveOp::AllGather, 32);
+        let s = c.snapshot();
+        assert_eq!(s.get(CollectiveOp::Broadcast).copies, 2);
+        assert_eq!(s.get(CollectiveOp::Broadcast).copy_bytes, 128);
+        // Copies never inflate the logical wire/call accounting.
+        assert_eq!(s.get(CollectiveOp::Broadcast).wire_bytes, 100);
+        assert_eq!(s.get(CollectiveOp::AllGather).calls, 0);
+        assert_eq!(s.total_copies(), 3);
+        assert_eq!(s.total_copy_bytes(), 160);
     }
 
     #[test]

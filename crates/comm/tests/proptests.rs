@@ -96,6 +96,47 @@ proptest! {
     }
 
     #[test]
+    fn shared_collectives_match_owned_bitwise(
+        n in 2usize..5,
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // The `Arc`-shared zero-copy path and the historical cloning path
+        // must agree bitwise for every collective, on arbitrary payload
+        // shapes (combine order is pinned to ascending member index).
+        let out = Cluster::a100(n).run(move |ctx| {
+            let g = ctx.world_group();
+            let mine = {
+                let mut rng = tesseract_tensor::Xoshiro256StarStar::seed_from_u64(
+                    seed.wrapping_mul(31).wrapping_add(ctx.rank as u64),
+                );
+                DenseTensor::from_matrix(Matrix::random_uniform(rows, cols, -1.0, 1.0, &mut rng))
+            };
+            let owned_b = g.broadcast(ctx, 0, (ctx.rank == 0).then(|| mine.clone()));
+            let shared_b =
+                g.broadcast_shared(ctx, 0, (ctx.rank == 0).then(|| std::sync::Arc::new(mine.clone())));
+            let b_ok = owned_b.matrix() == shared_b.matrix();
+            let owned_ar = g.all_reduce(ctx, mine.clone());
+            let shared_ar = g.all_reduce_shared(ctx, mine.clone());
+            let ar_ok = owned_ar.matrix() == shared_ar.matrix();
+            let owned_r = g.reduce(ctx, 0, mine.clone());
+            let shared_r = g.reduce_shared(ctx, 0, mine.clone());
+            let r_ok = match (&owned_r, &shared_r) {
+                (Some(a), Some(b)) => a.matrix() == b.matrix(),
+                (None, None) => true,
+                _ => false,
+            };
+            let owned_g = g.all_gather(ctx, mine.clone());
+            let shared_g = g.all_gather_shared(ctx, std::sync::Arc::new(mine));
+            let g_ok = owned_g.len() == shared_g.len()
+                && owned_g.iter().zip(shared_g.iter()).all(|(a, b)| a.matrix() == b.matrix());
+            b_ok && ar_ok && r_ok && g_ok
+        });
+        prop_assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
     fn all_gather_preserves_order(n in 2usize..6) {
         let out = Cluster::a100(n).run(move |ctx| {
             let g = ctx.world_group();

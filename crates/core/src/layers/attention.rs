@@ -8,6 +8,8 @@
 //! emphasizes ("with no communication with other position's tokens, the
 //! attention part is also parallelizable").
 
+use std::sync::Arc;
+
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
@@ -73,7 +75,7 @@ impl<T: TensorLike + Payload> TesseractAttention<T> {
 
 impl<T: TensorLike + Payload> Module<T> for TesseractAttention<T> {
     /// Forward over the local activation block `[b/(dq)·s, h/q]`.
-    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let s = self.cfg.seq;
         let hd = self.cfg.head_dim();
         let samples = self.local_samples(grid);
@@ -110,12 +112,12 @@ impl<T: TensorLike + Payload> Module<T> for TesseractAttention<T> {
             sample_outs.push(T::concat_cols(&head_outs, &mut ctx.meter));
         }
         self.tape.push(caches);
-        let merged = T::concat_rows(&sample_outs, &mut ctx.meter);
+        let merged = Arc::new(T::concat_rows(&sample_outs, &mut ctx.meter));
         self.wo.forward(grid, ctx, &merged)
     }
 
     /// Backward; returns `dX` and accumulates projection gradients.
-    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let s = self.cfg.seq;
         let hd = self.cfg.head_dim();
         let samples = self.local_samples(grid);
@@ -160,7 +162,7 @@ impl<T: TensorLike + Payload> Module<T> for TesseractAttention<T> {
         let dq_all = T::concat_rows(&dq_rows, &mut ctx.meter);
         let dk_all = T::concat_rows(&dk_rows, &mut ctx.meter);
         let dv_all = T::concat_rows(&dv_rows, &mut ctx.meter);
-        let d_qkv = T::concat_cols(&[dq_all, dk_all, dv_all], &mut ctx.meter);
+        let d_qkv = Arc::new(T::concat_cols(&[dq_all, dk_all, dv_all], &mut ctx.meter));
         self.wqkv.backward(grid, ctx, &d_qkv)
     }
 

@@ -6,6 +6,8 @@
 //! all-reduces `Σ X̂ᵢ(δJ/δX̂)ᵢ` and `Σ(δJ/δX̂)ᵢ` the same way and applies
 //! Eq. 14 with the taped `X̂` and `1/sqrt(Var+ε)`.
 
+use std::sync::Arc;
+
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
@@ -19,7 +21,9 @@ pub struct TesseractLayerNorm<T> {
     pub hidden_global: usize,
     pub eps: f32,
     /// Tape of (x̂ local block, inv_std column vector) per microbatch.
-    tape: Tape<(T, T)>,
+    /// `x̂` is the same allocation handed to the next layer, so taping it
+    /// costs one `Arc` bump rather than a deep copy.
+    tape: Tape<(Arc<T>, T)>,
 }
 
 impl<T: TensorLike + Payload> TesseractLayerNorm<T> {
@@ -31,7 +35,7 @@ impl<T: TensorLike + Payload> TesseractLayerNorm<T> {
 impl<T: TensorLike + Payload> Module<T> for TesseractLayerNorm<T> {
     /// Forward: `X̂ = (X − E[X]) / sqrt(Var[X] + ε)` with row-group
     /// all-reduced statistics.
-    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let n = self.hidden_global as f32;
         assert_eq!(
             x.cols() * grid.shape.q,
@@ -41,33 +45,34 @@ impl<T: TensorLike + Payload> Module<T> for TesseractLayerNorm<T> {
         let s1 = x.row_sums(&mut ctx.meter);
         let s2 = x.row_sums_of_squares(&mut ctx.meter);
         let packed = T::concat_cols(&[s1, s2], &mut ctx.meter);
-        let packed = grid.row.all_reduce(ctx, packed);
+        let packed = grid.row.all_reduce_shared(ctx, packed);
         let s1 = packed.slice_cols(0, 1, &mut ctx.meter);
         let s2 = packed.slice_cols(1, 2, &mut ctx.meter);
         let mean = s1.scale(1.0 / n, &mut ctx.meter);
         let mean_sq = mean.hadamard(&mean, &mut ctx.meter);
         let var = s2.scale(1.0 / n, &mut ctx.meter).sub(&mean_sq, &mut ctx.meter);
         let inv_std = var.rsqrt_add(self.eps, &mut ctx.meter);
-        let xhat = x.sub_colvec(&mean, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter);
-        self.tape.push((xhat.clone(), inv_std));
+        let xhat =
+            Arc::new(x.sub_colvec(&mean, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter));
+        self.tape.push((Arc::clone(&xhat), inv_std));
         xhat
     }
 
     /// Backward (Eq. 14): `dX = (dY − (X̂·Σ(X̂∘dY) + Σ dY)/n) ∘ inv_std`.
-    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let (xhat, inv_std) = self.tape.pop("TesseractLayerNorm");
         let n = self.hidden_global as f32;
         let t1 = xhat.hadamard(dy, &mut ctx.meter).row_sums(&mut ctx.meter);
         let t2 = dy.row_sums(&mut ctx.meter);
         let packed = T::concat_cols(&[t1, t2], &mut ctx.meter);
-        let packed = grid.row.all_reduce(ctx, packed);
+        let packed = grid.row.all_reduce_shared(ctx, packed);
         let t1 = packed.slice_cols(0, 1, &mut ctx.meter);
         let t2 = packed.slice_cols(1, 2, &mut ctx.meter);
         let correction = xhat
             .mul_colvec(&t1, &mut ctx.meter)
             .add_colvec(&t2, &mut ctx.meter)
             .scale(1.0 / n, &mut ctx.meter);
-        dy.sub(&correction, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter)
+        Arc::new(dy.sub(&correction, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter))
     }
 
     // No parameters: the default (empty) visit_params applies.

@@ -16,6 +16,8 @@
 //! column-wise, so every rank's output columns hold *its own heads'*
 //! Q/K/V — the layout trick Megatron-style implementations rely on.
 
+use std::sync::Arc;
+
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
@@ -26,16 +28,21 @@ use crate::module::{Module, Tape};
 pub use crate::module::ParamRef;
 
 /// Tesseract column/row-blocked linear layer.
+///
+/// The weight and bias blocks are `Arc`-held so the forward/backward
+/// broadcasts can deposit them into the fabric without cloning; the
+/// optimizer still mutates them through [`ParamRef`] via `Arc::make_mut`
+/// (copy-on-write, a no-op once any transient rendezvous shares drop).
 pub struct TesseractLinear<T> {
     pub in_features: usize,
     pub out_features: usize,
-    w: T,
+    w: Arc<T>,
     dw: T,
     /// Bias block `[1, out/q]`, present only on row-0 ranks.
-    bias: Option<T>,
+    bias: Option<Arc<T>>,
     dbias: Option<T>,
     /// Microbatch activation tape (see [`Tape`] on GPipe LIFO ordering).
-    tape: Tape<T>,
+    tape: Tape<Arc<T>>,
     with_bias: bool,
 }
 
@@ -90,14 +97,14 @@ impl<T: TensorLike + Payload> TesseractLinear<T> {
         let (bias, dbias) = if with_bias && i == 0 {
             // Biases are zero-initialized (standard practice), so they need
             // no parameter id and match the serial reference trivially.
-            (Some(T::zeros(1, out_local_total)), Some(T::zeros(1, out_local_total)))
+            (Some(Arc::new(T::zeros(1, out_local_total))), Some(T::zeros(1, out_local_total)))
         } else {
             (None, None)
         };
         Self {
             in_features,
             out_features,
-            w,
+            w: Arc::new(w),
             dw: T::zeros(in_local, out_local_total),
             bias,
             dbias,
@@ -118,7 +125,7 @@ impl<T: TensorLike + Payload> TesseractLinear<T> {
 
     /// This rank's bias block, if it owns one.
     pub fn bias(&self) -> Option<&T> {
-        self.bias.as_ref()
+        self.bias.as_deref()
     }
 
     /// This rank's bias gradient, if it owns one.
@@ -129,41 +136,41 @@ impl<T: TensorLike + Payload> TesseractLinear<T> {
 
 impl<T: TensorLike + Payload> Module<T> for TesseractLinear<T> {
     /// Forward: `Y = X·W (+ bias broadcast down the column)`. Tapes `X`.
-    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let mut y = tesseract_matmul(grid, ctx, x, &self.w);
         if self.with_bias {
-            let b = grid.col.broadcast(ctx, 0, self.bias.clone());
+            let b = grid.col.broadcast_shared(ctx, 0, self.bias.as_ref().map(Arc::clone));
             y = y.add_rowvec(&b, &mut ctx.meter);
         }
-        self.tape.push(x.clone());
-        y
+        self.tape.push(Arc::clone(x));
+        Arc::new(y)
     }
 
     /// Backward: returns `dX`; accumulates `dW` (and `dbias` on row 0).
-    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let x = self.tape.pop("TesseractLinear");
         if self.with_bias {
             let db_local = dy.col_sums(&mut ctx.meter);
-            let db = grid.col.reduce(ctx, 0, db_local);
+            let db = grid.col.reduce_shared(ctx, 0, db_local);
             if grid.i() == 0 {
                 let mut db = db.expect("row-0 rank receives bias gradient");
                 if grid.shape.d > 1 {
-                    db = grid.depth.all_reduce(ctx, db);
+                    db = Arc::clone(&*grid.depth.all_reduce_shared(ctx, db));
                 }
                 self.dbias.as_mut().expect("row-0 rank holds bias").add_assign(&db, &mut ctx.meter);
             }
         }
-        let dw = tesseract_matmul_tn(grid, ctx, &x, dy, true);
+        let dw = tesseract_matmul_tn(grid, ctx, &x, &**dy, true);
         self.dw.add_assign(&dw, &mut ctx.meter);
-        tesseract_matmul_nt(grid, ctx, dy, &self.w)
+        tesseract_matmul_nt(grid, ctx, &**dy, &self.w)
     }
 
     /// Visits (weight, grad) pairs for the optimizer, in a deterministic
     /// order. Row-0 ranks visit the bias too.
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
-        f(ParamRef { weight: &mut self.w, grad: &mut self.dw });
+        f(ParamRef { weight: Arc::make_mut(&mut self.w), grad: &mut self.dw });
         if let (Some(b), Some(db)) = (self.bias.as_mut(), self.dbias.as_mut()) {
-            f(ParamRef { weight: b, grad: db });
+            f(ParamRef { weight: Arc::make_mut(b), grad: db });
         }
     }
 

@@ -5,6 +5,8 @@
 //! processors between steps ("store the parameter matrices inside each
 //! processor for the next computation to avoid waste of communication").
 
+use std::sync::Arc;
+
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
@@ -17,7 +19,7 @@ pub struct TesseractMlp<T> {
     pub fc1: TesseractLinear<T>,
     pub fc2: TesseractLinear<T>,
     /// Tape of pre-activation blocks (GELU backward needs the input).
-    tape: Tape<T>,
+    tape: Tape<Arc<T>>,
 }
 
 impl<T: TensorLike + Payload> TesseractMlp<T> {
@@ -41,17 +43,17 @@ impl<T: TensorLike + Payload> TesseractMlp<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractMlp<T> {
-    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let pre = self.fc1.forward(grid, ctx, x);
-        let act = pre.gelu(&mut ctx.meter);
+        let act = Arc::new(pre.gelu(&mut ctx.meter));
         self.tape.push(pre);
         self.fc2.forward(grid, ctx, &act)
     }
 
-    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let d_act = self.fc2.backward(grid, ctx, dy);
         let pre = self.tape.pop("TesseractMlp");
-        let d_pre = pre.gelu_backward(&d_act, &mut ctx.meter);
+        let d_pre = Arc::new(pre.gelu_backward(&d_act, &mut ctx.meter));
         self.fc1.backward(grid, ctx, &d_pre)
     }
 

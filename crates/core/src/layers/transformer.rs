@@ -3,6 +3,8 @@
 //! architecture Megatron-LM adapted ("the whole model consists of multiple
 //! identical Transformer layers"). Residual adds are local (§3.2.2).
 
+use std::sync::Arc;
+
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
@@ -54,25 +56,25 @@ impl<T: TensorLike + Payload> TesseractTransformerLayer<T> {
 
 impl<T: TensorLike + Payload> Module<T> for TesseractTransformerLayer<T> {
     /// Forward over the local `[b/(dq)·s, h/q]` activation block.
-    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let a = self.ln1.forward(grid, ctx, x);
         let b = self.attn.forward(grid, ctx, &a);
-        let x1 = x.add(&b, &mut ctx.meter);
+        let x1 = Arc::new(x.add(&b, &mut ctx.meter));
         let c = self.ln2.forward(grid, ctx, &x1);
         let d = self.mlp.forward(grid, ctx, &c);
-        x1.add(&d, &mut ctx.meter)
+        Arc::new(x1.add(&d, &mut ctx.meter))
     }
 
     /// Backward; returns `dX`.
-    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         // y = x1 + mlp(ln2(x1)), so dy flows both directly and through mlp.
         let d_mlp_in = self.mlp.backward(grid, ctx, dy);
         let d_x1_from_ln2 = self.ln2.backward(grid, ctx, &d_mlp_in);
-        let d_x1 = dy.add(&d_x1_from_ln2, &mut ctx.meter);
+        let d_x1 = Arc::new(dy.add(&d_x1_from_ln2, &mut ctx.meter));
         // x1 = x + attn(ln1(x)).
         let d_attn_in = self.attn.backward(grid, ctx, &d_x1);
         let d_x_from_ln1 = self.ln1.backward(grid, ctx, &d_attn_in);
-        d_x1.add(&d_x_from_ln1, &mut ctx.meter)
+        Arc::new(d_x1.add(&d_x_from_ln1, &mut ctx.meter))
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
@@ -122,11 +124,11 @@ impl<T: TensorLike + Payload> TesseractTransformer<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractTransformer<T> {
-    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         self.layers.forward(grid, ctx, x)
     }
 
-    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         self.layers.backward(grid, ctx, dy)
     }
 

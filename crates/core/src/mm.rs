@@ -10,6 +10,8 @@
 //! layers run `q×q` SUMMA multiplications concurrently over disjoint row
 //! bands of `A`/`C`, sharing only the replicated `B`.
 
+use std::sync::Arc;
+
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
@@ -24,7 +26,17 @@ use crate::grid::TesseractGrid;
 /// Per step `t`: `A_{i,t,k}` is broadcast along the row, `B_{t,j,k}` along
 /// the column, and every rank accumulates `C += A_t · B_t`. No inter-layer
 /// communication happens in the forward pass.
-pub fn tesseract_matmul<T>(grid: &TesseractGrid, ctx: &mut RankCtx, a_local: &T, b_local: &T) -> T
+///
+/// The panels travel zero-copy: the step-`t` root deposits `Arc::clone` of
+/// its local block (no self-clone) and every member multiplies against the
+/// shared allocation, so each panel is materialized exactly once per
+/// rendezvous regardless of the group size.
+pub fn tesseract_matmul<T>(
+    grid: &TesseractGrid,
+    ctx: &mut RankCtx,
+    a_local: &Arc<T>,
+    b_local: &Arc<T>,
+) -> T
 where
     T: TensorLike + Payload,
 {
@@ -32,8 +44,8 @@ where
     assert_eq!(a_local.cols(), b_local.rows(), "tesseract_matmul: inner block dims disagree");
     let mut c: Option<T> = None;
     for t in 0..q {
-        let a_t = grid.row.broadcast(ctx, t, (grid.j() == t).then(|| a_local.clone()));
-        let b_t = grid.col.broadcast(ctx, t, (grid.i() == t).then(|| b_local.clone()));
+        let a_t = grid.row.broadcast_shared(ctx, t, (grid.j() == t).then(|| Arc::clone(a_local)));
+        let b_t = grid.col.broadcast_shared(ctx, t, (grid.i() == t).then(|| Arc::clone(b_local)));
         let partial = a_t.matmul(&b_t, &mut ctx.meter);
         match c.as_mut() {
             None => c = Some(partial),
@@ -52,22 +64,26 @@ where
 /// Per step `t`: `B_{t,j,k}` is broadcast along the column; every rank
 /// computes `A · B_tᵀ` and the row reduces the partials to member `t`,
 /// which owns column block `t` of the result.
+///
+/// The weight panel is `Arc`-shared along the column and the freshly
+/// computed partials are consumed by the in-place row reduction, so the
+/// whole backward rule performs zero payload copies.
 pub fn tesseract_matmul_nt<T>(
     grid: &TesseractGrid,
     ctx: &mut RankCtx,
     a_local: &T,
-    b_local: &T,
-) -> T
+    b_local: &Arc<T>,
+) -> Arc<T>
 where
     T: TensorLike + Payload,
 {
     let q = grid.shape.q;
     assert_eq!(a_local.cols(), b_local.cols(), "tesseract_matmul_nt: inner block dims disagree");
-    let mut mine: Option<T> = None;
+    let mut mine: Option<Arc<T>> = None;
     for t in 0..q {
-        let b_t = grid.col.broadcast(ctx, t, (grid.i() == t).then(|| b_local.clone()));
+        let b_t = grid.col.broadcast_shared(ctx, t, (grid.i() == t).then(|| Arc::clone(b_local)));
         let partial = a_local.matmul_nt(&b_t, &mut ctx.meter);
-        let reduced = grid.row.reduce(ctx, t, partial);
+        let reduced = grid.row.reduce_shared(ctx, t, partial);
         if grid.j() == t {
             mine = Some(reduced.expect("root receives reduction"));
         }
@@ -90,27 +106,30 @@ where
 pub fn tesseract_matmul_tn<T>(
     grid: &TesseractGrid,
     ctx: &mut RankCtx,
-    a_local: &T,
+    a_local: &Arc<T>,
     b_local: &T,
     depth_reduce: bool,
-) -> T
+) -> Arc<T>
 where
     T: TensorLike + Payload,
 {
     let q = grid.shape.q;
     assert_eq!(a_local.rows(), b_local.rows(), "tesseract_matmul_tn: inner block dims disagree");
-    let mut mine: Option<T> = None;
+    let mut mine: Option<Arc<T>> = None;
     for t in 0..q {
-        let a_t = grid.row.broadcast(ctx, t, (grid.j() == t).then(|| a_local.clone()));
+        let a_t = grid.row.broadcast_shared(ctx, t, (grid.j() == t).then(|| Arc::clone(a_local)));
         let partial = a_t.matmul_tn(b_local, &mut ctx.meter);
-        let reduced = grid.col.reduce(ctx, t, partial);
+        let reduced = grid.col.reduce_shared(ctx, t, partial);
         if grid.i() == t {
             mine = Some(reduced.expect("root receives reduction"));
         }
     }
     let mut c = mine.expect("every rank is root for exactly one t");
     if depth_reduce && grid.shape.d > 1 {
-        c = grid.depth.all_reduce(ctx, c);
+        // Reduce *through* the Arc: copy-on-write touches only member 0's
+        // accumulator, and every depth replica ends up holding the same
+        // combined allocation.
+        c = Arc::clone(&*grid.depth.all_reduce_shared(ctx, c));
     }
     c
 }
@@ -134,8 +153,8 @@ mod tests {
         let out = Cluster::a100(shape.size()).run(|ctx| {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
-            let a_loc = DenseTensor::from_matrix(a_block(a, shape, i, j, k));
-            let b_loc = DenseTensor::from_matrix(b_block(b, shape, i, j));
+            let a_loc = Arc::new(DenseTensor::from_matrix(a_block(a, shape, i, j, k)));
+            let b_loc = Arc::new(DenseTensor::from_matrix(b_block(b, shape, i, j)));
             tesseract_matmul(&grid, ctx, &a_loc, &b_loc).into_matrix()
         });
         combine_c(&out.results, shape)
@@ -190,8 +209,8 @@ mod tests {
                 let grid = TesseractGrid::new(ctx, shape, 0);
                 let (i, j, k) = grid.coords;
                 let a_loc = DenseTensor::from_matrix(a_block(&a, shape, i, j, k));
-                let b_loc = DenseTensor::from_matrix(b_block(&b, shape, i, j));
-                tesseract_matmul_nt(&grid, ctx, &a_loc, &b_loc).into_matrix()
+                let b_loc = Arc::new(DenseTensor::from_matrix(b_block(&b, shape, i, j)));
+                tesseract_matmul_nt(&grid, ctx, &a_loc, &b_loc).matrix().clone()
             });
             let got = combine_c(&out.results, shape);
             let expected = matmul::matmul_nt(&a, &b);
@@ -210,9 +229,9 @@ mod tests {
             let out = Cluster::a100(shape.size()).run(|ctx| {
                 let grid = TesseractGrid::new(ctx, shape, 0);
                 let (i, j, k) = grid.coords;
-                let a_loc = DenseTensor::from_matrix(a_block(&a, shape, i, j, k));
+                let a_loc = Arc::new(DenseTensor::from_matrix(a_block(&a, shape, i, j, k)));
                 let b_loc = DenseTensor::from_matrix(a_block(&b, shape, i, j, k));
-                tesseract_matmul_tn(&grid, ctx, &a_loc, &b_loc, true).into_matrix()
+                tesseract_matmul_tn(&grid, ctx, &a_loc, &b_loc, true).matrix().clone()
             });
             let got = combine_b(&out.results, shape);
             let expected = matmul::matmul_tn(&a, &b);
@@ -235,9 +254,9 @@ mod tests {
         let out = Cluster::a100(shape.size()).run(|ctx| {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
-            let a_loc = DenseTensor::from_matrix(a_block(&a, shape, i, j, k));
+            let a_loc = Arc::new(DenseTensor::from_matrix(a_block(&a, shape, i, j, k)));
             let b_loc = DenseTensor::from_matrix(a_block(&b, shape, i, j, k));
-            tesseract_matmul_tn(&grid, ctx, &a_loc, &b_loc, false).into_matrix()
+            tesseract_matmul_tn(&grid, ctx, &a_loc, &b_loc, false).matrix().clone()
         });
         // Summing partials across depth by hand must equal the full result.
         let mut parts = Vec::new();
@@ -272,8 +291,8 @@ mod tests {
         let out = Cluster::a100(shape.size()).run(|ctx| {
             let grid = TesseractGrid::new(ctx, shape, 0);
             // Global A [16, 8], B [8, 8] at shadow scale.
-            let a_loc = ShadowTensor::new(16 / 4, 8 / 2);
-            let b_loc = ShadowTensor::new(8 / 2, 8 / 2);
+            let a_loc = Arc::new(ShadowTensor::new(16 / 4, 8 / 2));
+            let b_loc = Arc::new(ShadowTensor::new(8 / 2, 8 / 2));
             let c = tesseract_matmul(&grid, ctx, &a_loc, &b_loc);
             ctx.flush_compute();
             (c.shape(), ctx.clock())
@@ -294,14 +313,14 @@ mod tests {
         let dense = Cluster::a100(shape.size()).run(|ctx| {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
-            let a_loc = DenseTensor::from_matrix(a_block(&a, shape, i, j, k));
-            let b_loc = DenseTensor::from_matrix(b_block(&b, shape, i, j));
+            let a_loc = Arc::new(DenseTensor::from_matrix(a_block(&a, shape, i, j, k)));
+            let b_loc = Arc::new(DenseTensor::from_matrix(b_block(&b, shape, i, j)));
             let _ = tesseract_matmul(&grid, ctx, &a_loc, &b_loc);
         });
         let shadow = Cluster::a100(shape.size()).run(|ctx| {
             let grid = TesseractGrid::new(ctx, shape, 0);
-            let a_loc = ShadowTensor::new(4, 4);
-            let b_loc = ShadowTensor::new(4, 4);
+            let a_loc = Arc::new(ShadowTensor::new(4, 4));
+            let b_loc = Arc::new(ShadowTensor::new(4, 4));
             let _ = tesseract_matmul(&grid, ctx, &a_loc, &b_loc);
         });
         assert!((dense.makespan() - shadow.makespan()).abs() < 1e-15);

@@ -17,6 +17,8 @@
 //! drive computation (trainer, pipeline schedules, timing harnesses) call
 //! [`Module::forward`] / [`Module::backward`].
 
+use std::sync::Arc;
+
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
@@ -38,12 +40,17 @@ pub struct ParamRef<'a, T> {
 pub trait Module<T: TensorLike + Payload, G = TesseractGrid> {
     /// Forward over this rank's local activation block. Implementations
     /// that need activations in `backward` push them onto a [`Tape`].
-    fn forward(&mut self, grid: &G, ctx: &mut RankCtx, x: &T) -> T;
+    ///
+    /// Activations flow as `Arc<T>` so layers can cache them, broadcast
+    /// them, or hand them to the next layer without deep-copying; the
+    /// borrowed kernel API is reached through deref coercion (`&Arc<T>`
+    /// coerces to `&T` at call sites).
+    fn forward(&mut self, grid: &G, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T>;
 
     /// Backward; returns `dX` and accumulates parameter gradients. Pops
     /// the activations cached by the matching `forward` (LIFO, so several
     /// queued microbatch forwards are unwound in reverse order).
-    fn backward(&mut self, grid: &G, ctx: &mut RankCtx, dy: &T) -> T;
+    fn backward(&mut self, grid: &G, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T>;
 
     /// Visits every (weight, grad) pair in a deterministic order.
     /// Parameter-free modules use the default empty body.
@@ -215,16 +222,16 @@ impl<T: TensorLike + Payload, G> Sequential<T, G> {
 }
 
 impl<T: TensorLike + Payload, G> Module<T, G> for Sequential<T, G> {
-    fn forward(&mut self, grid: &G, ctx: &mut RankCtx, x: &T) -> T {
-        let mut h = x.clone();
+    fn forward(&mut self, grid: &G, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
+        let mut h = Arc::clone(x);
         for m in &mut self.mods {
             h = m.forward(grid, ctx, &h);
         }
         h
     }
 
-    fn backward(&mut self, grid: &G, ctx: &mut RankCtx, dy: &T) -> T {
-        let mut g = dy.clone();
+    fn backward(&mut self, grid: &G, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
+        let mut g = Arc::clone(dy);
         for m in self.mods.iter_mut().rev() {
             g = m.backward(grid, ctx, &g);
         }

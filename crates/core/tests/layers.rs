@@ -2,6 +2,8 @@
 //! in `tesseract_tensor::nn` (finer-grained than the full-stack parity
 //! tests in `tesseract-baselines`).
 
+use std::sync::Arc;
+
 use tesseract_comm::Cluster;
 use tesseract_core::layers::{TesseractLayerNorm, TesseractLinear, TesseractMlp};
 use tesseract_core::partition::{a_block, combine_c};
@@ -29,11 +31,11 @@ fn layernorm_matches_serial_kernel() {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let mut ln = TesseractLayerNorm::<DenseTensor>::new(8, 1e-5);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
-        let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+        let dy_loc = Arc::new(DenseTensor::from_matrix(a_block(&dy, shape, i, j, k)));
         let y = ln.forward(&grid, ctx, &x_loc);
         let dx = ln.backward(&grid, ctx, &dy_loc);
-        (y.into_matrix(), dx.into_matrix())
+        (y.matrix().clone(), dx.matrix().clone())
     });
     let y = combine_c(&out.results.iter().map(|(y, _)| y.clone()).collect::<Vec<_>>(), shape);
     let dx = combine_c(&out.results.iter().map(|(_, d)| d.clone()).collect::<Vec<_>>(), shape);
@@ -53,8 +55,8 @@ fn linear_forward_matches_global_weight_product() {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let mut lin = TesseractLinear::<DenseTensor>::new(ctx, &grid, in_f, out_f, false, SEED, 7);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
-        lin.forward(&grid, ctx, &x_loc).into_matrix()
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+        lin.forward(&grid, ctx, &x_loc).matrix().clone()
     });
     let y = combine_c(&out.results, shape);
     assert_slices_close(y.data(), matmul(&x, &w_global).data(), 1e-4);
@@ -85,9 +87,9 @@ fn linear_bias_gradient_reduces_to_row_zero() {
         let (i, j, k) = grid.coords;
         let mut lin = TesseractLinear::<DenseTensor>::new(ctx, &grid, 4, 4, true, SEED, 0);
         let x = Matrix::full(rows_global, 4, 1.0);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
         let _ = lin.forward(&grid, ctx, &x_loc);
-        let dy_loc = DenseTensor::from_matrix(Matrix::full(x_loc.rows(), 2, 1.0));
+        let dy_loc = Arc::new(DenseTensor::from_matrix(Matrix::full(x_loc.rows(), 2, 1.0)));
         let _ = lin.backward(&grid, ctx, &dy_loc);
         lin.bias_grad().map(|g| g.clone().into_matrix())
     });
@@ -114,8 +116,8 @@ fn mlp_gradient_matches_finite_difference() {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
             let mut mlp = TesseractMlp::<DenseTensor>::new(ctx, &grid, 4, 8, true, SEED, 0);
-            let x_loc = DenseTensor::from_matrix(a_block(input, shape, i, j, k));
-            mlp.forward(&grid, ctx, &x_loc).into_matrix()
+            let x_loc = Arc::new(DenseTensor::from_matrix(a_block(input, shape, i, j, k)));
+            mlp.forward(&grid, ctx, &x_loc).matrix().clone()
         });
         combine_c(&out.results, shape)
     };
@@ -123,10 +125,10 @@ fn mlp_gradient_matches_finite_difference() {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let mut mlp = TesseractMlp::<DenseTensor>::new(ctx, &grid, 4, 8, true, SEED, 0);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
         let _ = mlp.forward(&grid, ctx, &x_loc);
-        let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
-        mlp.backward(&grid, ctx, &dy_loc).into_matrix()
+        let dy_loc = Arc::new(DenseTensor::from_matrix(a_block(&dy, shape, i, j, k)));
+        mlp.backward(&grid, ctx, &dy_loc).matrix().clone()
     });
     let dx = combine_c(&out.results, shape);
     let h = 1e-2f32;
@@ -170,13 +172,13 @@ fn forward_backward_can_repeat_across_steps() {
         let (i, j, k) = grid.coords;
         let mut layer =
             TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, SEED, 0);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
         let mut outs = Vec::new();
         for _step in 0..3 {
             let y = layer.forward(&grid, ctx, &x_loc);
             let _ = layer.backward(&grid, ctx, &y);
             layer.zero_grad();
-            outs.push(y.into_matrix());
+            outs.push(y.matrix().clone());
         }
         outs
     });
@@ -208,14 +210,14 @@ fn gpipe_style_multi_forward_then_backward_works() {
         let (i, j, k) = grid.coords;
         let mut layer =
             TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, SEED, 0);
-        let x1_loc = DenseTensor::from_matrix(a_block(&x1, shape, i, j, k));
-        let x2_loc = DenseTensor::from_matrix(a_block(&x2, shape, i, j, k));
+        let x1_loc = Arc::new(DenseTensor::from_matrix(a_block(&x1, shape, i, j, k)));
+        let x2_loc = Arc::new(DenseTensor::from_matrix(a_block(&x2, shape, i, j, k)));
         let y1 = layer.forward(&grid, ctx, &x1_loc);
         let y2 = layer.forward(&grid, ctx, &x2_loc);
         // Backward in reverse microbatch order (LIFO caches).
         let d2 = layer.backward(&grid, ctx, &y2);
         let d1 = layer.backward(&grid, ctx, &y1);
-        (d1.into_matrix(), d2.into_matrix())
+        (d1.matrix().clone(), d2.matrix().clone())
     });
     // Cross-check against single-microbatch runs.
     let single = |x: &Matrix, seed_tag: u64| -> Matrix {
@@ -225,9 +227,9 @@ fn gpipe_style_multi_forward_then_backward_works() {
             let (i, j, k) = grid.coords;
             let mut layer =
                 TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, SEED, 0);
-            let x_loc = DenseTensor::from_matrix(a_block(x, shape, i, j, k));
+            let x_loc = Arc::new(DenseTensor::from_matrix(a_block(x, shape, i, j, k)));
             let y = layer.forward(&grid, ctx, &x_loc);
-            layer.backward(&grid, ctx, &y).into_matrix()
+            layer.backward(&grid, ctx, &y).matrix().clone()
         });
         combine_c(&out.results, shape)
     };

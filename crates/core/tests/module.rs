@@ -3,6 +3,8 @@
 //! then all backwards in reverse) against sequential per-microbatch
 //! execution, plus the tape's failure modes.
 
+use std::sync::Arc;
+
 use tesseract_comm::Cluster;
 use tesseract_core::layers::{TesseractLayerNorm, TesseractLinear};
 use tesseract_core::partition::a_block;
@@ -34,11 +36,13 @@ fn tape_survives_four_microbatch_gpipe_schedule() {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
             let mut model = TesseractLinear::<DenseTensor>::new(ctx, &grid, 8, 8, true, SEED, 1);
-            let x_loc: Vec<DenseTensor> =
-                xs.iter().map(|x| DenseTensor::from_matrix(a_block(x, shape, i, j, k))).collect();
-            let dy_loc: Vec<DenseTensor> = dys
+            let x_loc: Vec<Arc<DenseTensor>> = xs
                 .iter()
-                .map(|dy| DenseTensor::from_matrix(a_block(dy, shape, i, j, k)))
+                .map(|x| Arc::new(DenseTensor::from_matrix(a_block(x, shape, i, j, k))))
+                .collect();
+            let dy_loc: Vec<Arc<DenseTensor>> = dys
+                .iter()
+                .map(|dy| Arc::new(DenseTensor::from_matrix(a_block(dy, shape, i, j, k))))
                 .collect();
             let mut dxs = Vec::new();
             if pipelined {
@@ -47,13 +51,13 @@ fn tape_survives_four_microbatch_gpipe_schedule() {
                     let _ = model.forward(&grid, ctx, x);
                 }
                 for dy in dy_loc.iter().rev() {
-                    dxs.push(model.backward(&grid, ctx, dy).into_matrix());
+                    dxs.push(model.backward(&grid, ctx, dy).matrix().clone());
                 }
                 dxs.reverse();
             } else {
                 for (x, dy) in x_loc.iter().zip(&dy_loc) {
                     let _ = model.forward(&grid, ctx, x);
-                    dxs.push(model.backward(&grid, ctx, dy).into_matrix());
+                    dxs.push(model.backward(&grid, ctx, dy).matrix().clone());
                 }
             }
             // zero_grad's tape-balance debug assertion must accept a clean
@@ -86,7 +90,7 @@ fn backward_on_empty_tape_panics() {
     Cluster::a100(shape.size()).run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let mut lin = TesseractLinear::<DenseTensor>::new(ctx, &grid, 4, 4, false, SEED, 1);
-        let dy = DenseTensor::from_matrix(random(4, 4, 3));
+        let dy = Arc::new(DenseTensor::from_matrix(random(4, 4, 3)));
         let _ = lin.backward(&grid, ctx, &dy);
     });
 }
@@ -101,8 +105,8 @@ fn sequential_composition_matches_manual_chaining() {
     let out = Cluster::a100(shape.size()).run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
-        let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+        let dy_loc = Arc::new(DenseTensor::from_matrix(a_block(&dy, shape, i, j, k)));
 
         let mut seq: Sequential<DenseTensor> = Sequential::new()
             .push(TesseractLayerNorm::new(8, 1e-5))
@@ -118,7 +122,12 @@ fn sequential_composition_matches_manual_chaining() {
         let d_h = lin.backward(&grid, ctx, &dy_loc);
         let dx_man = ln.backward(&grid, ctx, &d_h);
 
-        (y_seq.into_matrix(), y_man.into_matrix(), dx_seq.into_matrix(), dx_man.into_matrix())
+        (
+            y_seq.matrix().clone(),
+            y_man.matrix().clone(),
+            dx_seq.matrix().clone(),
+            dx_man.matrix().clone(),
+        )
     });
     for (rank, (ys, ym, ds, dm)) in out.results.iter().enumerate() {
         assert_eq!(ys, ym, "rank {rank}: sequential forward differs from manual");

@@ -111,8 +111,8 @@ proptest! {
         let out = Cluster::a100(shape.size()).run(|ctx| {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
-            let a_loc = DenseTensor::from_matrix(a_block(&a, shape, i, j, k));
-            let b_loc = DenseTensor::from_matrix(b_block(&b, shape, i, j));
+            let a_loc = std::sync::Arc::new(DenseTensor::from_matrix(a_block(&a, shape, i, j, k)));
+            let b_loc = std::sync::Arc::new(DenseTensor::from_matrix(b_block(&b, shape, i, j)));
             tesseract_matmul(&grid, ctx, &a_loc, &b_loc).into_matrix()
         });
         let got = combine_c(&out.results, shape);
@@ -133,8 +133,10 @@ proptest! {
         let (a_rows, inner, b_cols) = (q * d * mr * 2, q * 2, q * 3);
         let out = Cluster::a100(shape.size()).run(|ctx| {
             let grid = TesseractGrid::new(ctx, shape, 0);
-            let a_loc = tesseract_tensor::ShadowTensor::new(a_rows / (q * d), inner / q);
-            let b_loc = tesseract_tensor::ShadowTensor::new(inner / q, b_cols / q);
+            let a_loc =
+                std::sync::Arc::new(tesseract_tensor::ShadowTensor::new(a_rows / (q * d), inner / q));
+            let b_loc =
+                std::sync::Arc::new(tesseract_tensor::ShadowTensor::new(inner / q, b_cols / q));
             let _ = tesseract_matmul(&grid, ctx, &a_loc, &b_loc);
         });
         let a_block_bytes = (a_rows / (q * d)) * (inner / q) * 4;

@@ -41,9 +41,12 @@ impl DataParallel {
         let inv = 1.0 / self.replicas as f32;
         let group = &self.group;
         // SPMD: replicas expose parameters in identical order, so the
-        // per-parameter all-reduces line up.
+        // per-parameter all-reduces line up. Each gradient is moved into the
+        // reduction (a placeholder takes its slot) so no rank clones its own
+        // contribution; the combined sum comes back shared.
         let mut sync = |pr: ParamRef<'_, T>| {
-            let summed = group.all_reduce(ctx, pr.grad.clone());
+            let g = std::mem::replace(pr.grad, T::zeros(1, 1));
+            let summed = group.all_reduce_shared(ctx, g);
             *pr.grad = summed.scale(inv, &mut ctx.meter);
         };
         visit(&mut sync);

@@ -7,6 +7,8 @@
 //! exposes a GPipe `train_step` that finishes with the data-parallel
 //! gradient all-reduce.
 
+use std::sync::Arc;
+
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_core::module::{Module, ParamRef, Sequential};
 use tesseract_core::{TesseractGrid, TransformerConfig};
@@ -69,7 +71,7 @@ impl<T: TensorLike + Payload> HybridTransformer<T> {
         microbatches: usize,
         inputs: impl FnMut(usize) -> T,
         loss_grad: impl FnMut(&mut RankCtx, &T, usize) -> T,
-    ) -> Vec<T> {
+    ) -> Vec<Arc<T>> {
         let outputs = gpipe_step_module(
             &self.stage,
             &self.grid,

@@ -9,6 +9,8 @@
 //! simulated clocks naturally expose the pipeline bubble: a stage's `recv`
 //! cannot complete before the sender produced the tensor.
 
+use std::sync::Arc;
+
 use tesseract_comm::{CommGroup, Payload, RankCtx};
 use tesseract_core::{Module, TesseractGrid};
 use tesseract_tensor::TensorLike;
@@ -130,6 +132,11 @@ where
 ///   microbatch `m` into the initial gradient (ignored elsewhere).
 ///
 /// Returns the last stage's outputs, in microbatch order (empty elsewhere).
+///
+/// Activations flow between stages as `Arc<T>`: within a simulated node the
+/// point-to-point send hands the receiver a reference to the same buffer
+/// (the wire cost is still charged on the virtual clocks), so no microbatch
+/// activation is ever deep-copied by the schedule itself.
 pub fn gpipe_step_module<T>(
     stage: &PipelineStage,
     grid: &TesseractGrid,
@@ -138,14 +145,15 @@ pub fn gpipe_step_module<T>(
     microbatches: usize,
     mut inputs: impl FnMut(usize) -> T,
     mut loss_grad: impl FnMut(&mut RankCtx, &T, usize) -> T,
-) -> Vec<T>
+) -> Vec<Arc<T>>
 where
     T: TensorLike + Payload,
 {
     assert!(microbatches >= 1);
-    let mut outputs = Vec::new();
+    let mut outputs: Vec<Arc<T>> = Vec::new();
     for m in 0..microbatches {
-        let x = if stage.is_first() { inputs(m) } else { stage.recv_forward(ctx) };
+        let x: Arc<T> =
+            if stage.is_first() { Arc::new(inputs(m)) } else { stage.recv_forward(ctx) };
         let y = model.forward(grid, ctx, &x);
         if stage.is_last() {
             outputs.push(y);
@@ -154,8 +162,11 @@ where
         }
     }
     for m in (0..microbatches).rev() {
-        let dy =
-            if stage.is_last() { loss_grad(ctx, &outputs[m], m) } else { stage.recv_backward(ctx) };
+        let dy: Arc<T> = if stage.is_last() {
+            Arc::new(loss_grad(ctx, &outputs[m], m))
+        } else {
+            stage.recv_backward(ctx)
+        };
         let dx = model.backward(grid, ctx, &dy);
         if !stage.is_first() {
             stage.send_backward(ctx, dx);

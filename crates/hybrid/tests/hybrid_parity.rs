@@ -47,7 +47,7 @@ fn pipeline_only_matches_serial_stack() {
         );
         let mut grads = Vec::new();
         engine.visit_params(&mut |pr| grads.push(pr.grad.clone().into_matrix()));
-        (outputs.into_iter().map(|o| o.into_matrix()).collect::<Vec<_>>(), grads)
+        (outputs.iter().map(|o| o.matrix().clone()).collect::<Vec<_>>(), grads)
     });
     // Last stage holds the full output (grid is [1,1,1]).
     let (ref outputs, ref stage1_grads) = out.results[1];
@@ -161,7 +161,7 @@ fn figure6_arrangement_matches_serial() {
             });
             g.unwrap()
         };
-        (coords, outputs.into_iter().map(|o| o.into_matrix()).collect::<Vec<_>>(), grad0)
+        (coords, outputs.iter().map(|o| o.matrix().clone()).collect::<Vec<_>>(), grad0)
     });
 
     // Assemble last-stage outputs of each replica and compare to serial.

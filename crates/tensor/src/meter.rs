@@ -22,6 +22,13 @@ pub struct Meter {
     /// GEMM launches that fell back to the serial kernel (below the
     /// `matmul::planned_path` size threshold).
     pub gemms_serial: u64,
+    /// Host-side deep copies of collective payloads (each one a real
+    /// memcpy the zero-copy collectives exist to avoid). Never converted
+    /// into simulated time: copies are a host artifact, not part of the
+    /// α–β model.
+    pub payload_copies: u64,
+    /// Bytes duplicated by those payload copies.
+    pub payload_copy_bytes: u64,
 }
 
 impl Meter {
@@ -53,6 +60,15 @@ impl Meter {
         }
     }
 
+    /// Records one deep copy of a collective payload of `bytes` bytes.
+    /// Copies contribute to no simulated time — `compute_time` never sees
+    /// them — they exist so the copy-elimination in the shared collectives
+    /// is observable and regressions are testable.
+    pub fn record_payload_copy(&mut self, bytes: u64) {
+        self.payload_copies += 1;
+        self.payload_copy_bytes += bytes;
+    }
+
     /// Merges another meter into this one (e.g. per-layer into per-step).
     pub fn merge(&mut self, other: &Meter) {
         self.flops += other.flops;
@@ -60,6 +76,8 @@ impl Meter {
         self.kernels += other.kernels;
         self.gemms_blocked += other.gemms_blocked;
         self.gemms_serial += other.gemms_serial;
+        self.payload_copies += other.payload_copies;
+        self.payload_copy_bytes += other.payload_copy_bytes;
     }
 
     /// Returns the current totals and resets the meter, for converting a
@@ -110,6 +128,22 @@ mod tests {
         assert_eq!(a.flops, 4.0);
         assert_eq!(a.bytes_allocated, 6);
         assert_eq!(a.kernels, 2);
+    }
+
+    #[test]
+    fn payload_copies_accumulate_and_merge() {
+        let mut a = Meter::new();
+        a.record_payload_copy(256);
+        a.record_payload_copy(64);
+        assert_eq!((a.payload_copies, a.payload_copy_bytes), (2, 320));
+        // Copies launch no kernels and allocate no metered output bytes:
+        // they must never leak into simulated time.
+        assert_eq!((a.kernels, a.bytes_allocated), (0, 0));
+        assert_eq!(a.flops, 0.0);
+        let mut b = Meter::new();
+        b.record_payload_copy(8);
+        a.merge(&b);
+        assert_eq!((a.payload_copies, a.payload_copy_bytes), (3, 328));
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub const RSQRT_FLOPS_PER_ELEM: f64 = 3.0;
 /// Every op validates shapes (so the shadow backend still catches layout
 /// bugs), charges the meter, and returns a new tensor. `self` is always the
 /// "primary" operand; see each method for the exact semantics.
-pub trait TensorLike: Clone + Send + Sized + 'static {
+pub trait TensorLike: Clone + Send + Sync + Sized + 'static {
     /// All-zero tensor (dense) / blank shape (shadow).
     fn zeros(rows: usize, cols: usize) -> Self;
 

@@ -132,13 +132,18 @@ pub fn train_tesseract(
             for _ in 0..s.steps_per_epoch {
                 let (x, labels) = ds.batch_for_step(b, s.data_seed, step_idx);
                 step_idx += 1;
-                let x_loc =
-                    DenseTensor::from_matrix(a_block(&x, shape, grid.i(), grid.j(), grid.k()));
+                let x_loc = std::sync::Arc::new(DenseTensor::from_matrix(a_block(
+                    &x,
+                    shape,
+                    grid.i(),
+                    grid.j(),
+                    grid.k(),
+                )));
                 let my_labels = &labels[h * per..(h + 1) * per];
                 let logits = model.forward(&grid, ctx, &x_loc);
                 let (loss_local, dlogits, correct_local) =
                     distributed_cross_entropy(&grid, ctx, &logits, my_labels, b);
-                model.backward(&grid, ctx, &dlogits);
+                model.backward(&grid, ctx, &std::sync::Arc::new(dlogits));
                 if let Some(max_norm) = s.clip_grad_norm {
                     crate::clip::clip_grad_norm(&grid, ctx, &mut model, max_norm);
                 }

@@ -3,6 +3,8 @@
 //! (single-GPU baseline) forms, sharing one parameter-id scheme so Figure 7
 //! compares identical models.
 
+use std::sync::Arc;
+
 use tesseract_comm::{Payload, RankCtx};
 use tesseract_core::module::{Module, ParamRef};
 use tesseract_core::{TesseractGrid, TesseractLinear, TesseractTransformer, TransformerConfig};
@@ -77,7 +79,7 @@ impl<T: TensorLike + Payload> TesseractViT<T> {
 impl<T: TensorLike + Payload> Module<T> for TesseractViT<T> {
     /// `x_local`: A-type block of the `[b·s, patch_dim]` patch features.
     /// Returns this rank's `[b/(dq), classes/q]` logits block.
-    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x_local: &T) -> T {
+    fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x_local: &Arc<T>) -> Arc<T> {
         let s = self.vcfg.body.seq;
         let e = self.embed.forward(grid, ctx, x_local);
         let feats = self.body.forward(grid, ctx, &e);
@@ -88,13 +90,13 @@ impl<T: TensorLike + Payload> Module<T> for TesseractViT<T> {
             let rows = feats.slice_rows(si * s, (si + 1) * s, &mut ctx.meter);
             pooled.push(rows.col_sums(&mut ctx.meter).scale(1.0 / s as f32, &mut ctx.meter));
         }
-        let pool = T::concat_rows(&pooled, &mut ctx.meter);
+        let pool = Arc::new(T::concat_rows(&pooled, &mut ctx.meter));
         self.head.forward(grid, ctx, &pool)
     }
 
     /// Backward from the logits gradient; accumulates all parameter grads
     /// and returns the gradient w.r.t. the local patch-feature block.
-    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, d_logits: &T) -> T {
+    fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, d_logits: &Arc<T>) -> Arc<T> {
         let s = self.vcfg.body.seq;
         let d_pool = self.head.backward(grid, ctx, d_logits);
         // Un-pool: every sequence position receives 1/s of the pooled grad.
@@ -107,7 +109,7 @@ impl<T: TensorLike + Payload> Module<T> for TesseractViT<T> {
                 expanded.push(row.clone());
             }
         }
-        let d_feats = T::concat_rows(&expanded, &mut ctx.meter);
+        let d_feats = Arc::new(T::concat_rows(&expanded, &mut ctx.meter));
         let d_embed = self.body.backward(grid, ctx, &d_feats);
         self.embed.backward(grid, ctx, &d_embed)
     }
@@ -200,13 +202,15 @@ impl SerialViT {
 pub fn distributed_cross_entropy(
     grid: &TesseractGrid,
     ctx: &mut RankCtx,
-    logits_local: &DenseTensor,
+    logits_local: &Arc<DenseTensor>,
     labels_local: &[usize],
     global_batch: usize,
 ) -> (f32, DenseTensor, usize) {
     let q = grid.shape.q;
-    let parts = grid.row.all_gather(ctx, logits_local.clone());
-    let mats: Vec<Matrix> = parts.into_iter().map(|p| p.into_matrix()).collect();
+    // Zero-copy gather: each rank's logits block is deposited once and read
+    // through `Arc`s; only the column-concat below materializes new data.
+    let parts = grid.row.all_gather_shared(ctx, Arc::clone(logits_local));
+    let mats: Vec<Matrix> = parts.iter().map(|p| p.matrix().clone()).collect();
     let full = Matrix::concat_cols(&mats);
     assert_eq!(full.rows(), labels_local.len(), "labels must cover local samples");
 
@@ -266,8 +270,8 @@ mod tests {
                 let grid = TesseractGrid::new(ctx, shape, 0);
                 let (i, j, k) = grid.coords;
                 let mut vit = TesseractViT::<DenseTensor>::new(ctx, &grid, v, 5);
-                let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
-                vit.forward(&grid, ctx, &x_loc).into_matrix()
+                let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+                vit.forward(&grid, ctx, &x_loc).matrix().clone()
             });
             let got = combine_c(&out.results, shape);
             assert_slices_close(got.data(), y_ser.data(), 5e-4);
@@ -287,7 +291,7 @@ mod tests {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
             // Logits are A-type: rows split by h = i + kq, cols by j.
-            let loc = DenseTensor::from_matrix(a_block(&logits, shape, i, j, k));
+            let loc = Arc::new(DenseTensor::from_matrix(a_block(&logits, shape, i, j, k)));
             let h = grid.a_row_block();
             let per = v.body.batch / (shape.q * shape.d);
             let my_labels = &labels_for_test[h * per..(h + 1) * per];
@@ -326,9 +330,9 @@ mod tests {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
             let mut vit = TesseractViT::<DenseTensor>::new(ctx, &grid, v, 5);
-            let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+            let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
             let _ = vit.forward(&grid, ctx, &x_loc);
-            let dl = DenseTensor::from_matrix(a_block(&dlogits, shape, i, j, k));
+            let dl = Arc::new(DenseTensor::from_matrix(a_block(&dlogits, shape, i, j, k)));
             vit.backward(&grid, ctx, &dl);
             vit.embed.weight_grad().clone().into_matrix()
         });

@@ -49,13 +49,13 @@ fn run_step() -> Fingerprint {
         let mut opt: AdamW<DenseTensor> = AdamW::new(3e-3, 0.3);
         let b = v.body.batch;
         let (x, labels) = ds.batch_for_step(b, 1234, 0);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        let x_loc = std::sync::Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
         let per = b / (shape.q * shape.d);
         let h = grid.a_row_block();
         let my_labels = &labels[h * per..(h + 1) * per];
         let logits = model.forward(&grid, ctx, &x_loc);
         let (loss_local, dlogits, _) = distributed_cross_entropy(&grid, ctx, &logits, my_labels, b);
-        let _ = model.backward(&grid, ctx, &dlogits);
+        let _ = model.backward(&grid, ctx, &std::sync::Arc::new(dlogits));
         opt.step(&mut Meter::new(), &mut model);
         model.zero_grad();
         let logits_row0: Vec<u32> = logits.matrix().row(0).iter().map(|f| f.to_bits()).collect();
@@ -125,7 +125,7 @@ fn shadow_counters() -> (u64, u64) {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let mut model = TesseractTransformer::<ShadowTensor>::new(ctx, &grid, cfg, true, 42, 0);
         let rows = cfg.rows() / (shape.q * shape.d);
-        let x = ShadowTensor::zeros(rows, cfg.hidden / shape.q);
+        let x = std::sync::Arc::new(ShadowTensor::zeros(rows, cfg.hidden / shape.q));
         let y = model.forward(&grid, ctx, &x);
         let _ = model.backward(&grid, ctx, &y);
         (ctx.meter.flops.to_bits(), ctx.meter.bytes_allocated)

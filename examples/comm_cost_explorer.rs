@@ -43,7 +43,8 @@ fn main() {
                 let grid = TesseractGrid::new(ctx, shape, 0);
                 let mut model =
                     TesseractTransformer::<ShadowTensor>::new(ctx, &grid, cfg, true, 0, 0);
-                let x = ShadowTensor::new(cfg.rows() / (q * d), cfg.hidden / q);
+                let x =
+                    std::sync::Arc::new(ShadowTensor::new(cfg.rows() / (q * d), cfg.hidden / q));
                 let y = model.forward(&grid, ctx, &x);
                 let _ = model.backward(&grid, ctx, &y);
                 ctx.flush_compute();

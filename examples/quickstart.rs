@@ -31,8 +31,8 @@ fn main() {
     let out = Cluster::a100(shape.size()).run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
-        let a_local = DenseTensor::from_matrix(a_block(&a, shape, i, j, k));
-        let b_local = DenseTensor::from_matrix(b_block(&b, shape, i, j));
+        let a_local = std::sync::Arc::new(DenseTensor::from_matrix(a_block(&a, shape, i, j, k)));
+        let b_local = std::sync::Arc::new(DenseTensor::from_matrix(b_block(&b, shape, i, j)));
         tesseract_matmul(&grid, ctx, &a_local, &b_local).into_matrix()
     });
 

@@ -41,11 +41,11 @@ fn main() {
         let (i, j, k) = grid.coords;
         let mut layer =
             TesseractTransformerLayer::<DenseTensor>::new(ctx, &grid, cfg, true, seed, 0);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
-        let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
+        let x_loc = std::sync::Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+        let dy_loc = std::sync::Arc::new(DenseTensor::from_matrix(a_block(&dy, shape, i, j, k)));
         let y = layer.forward(&grid, ctx, &x_loc);
         let dx = layer.backward(&grid, ctx, &dy_loc);
-        (y.into_matrix(), dx.into_matrix())
+        (y.matrix().clone(), dx.matrix().clone())
     });
     let y_tess = combine_c(&tess.results.iter().map(|(y, _)| y.clone()).collect::<Vec<_>>(), shape);
     let dx_tess =
@@ -59,9 +59,11 @@ fn main() {
     let mega = Cluster::a100(4).run(|ctx| {
         let world = MegatronWorld::new(ctx, (0..4).collect());
         let mut layer = MegatronTransformerLayer::<DenseTensor>::new(&world, cfg, true, seed, 0);
-        let y = layer.forward(&world, ctx, &DenseTensor::from_matrix(x.clone()));
-        let dx = layer.backward(&world, ctx, &DenseTensor::from_matrix(dy.clone()));
-        (y.into_matrix(), dx.into_matrix())
+        let x_full = std::sync::Arc::new(DenseTensor::from_matrix(x.clone()));
+        let dy_full = std::sync::Arc::new(DenseTensor::from_matrix(dy.clone()));
+        let y = layer.forward(&world, ctx, &x_full);
+        let dx = layer.backward(&world, ctx, &dy_full);
+        (y.matrix().clone(), dx.matrix().clone())
     });
     let (y_mega, dx_mega) = &mega.results[0];
     println!("\nMegatron-LM [4] vs serial oracle:");

@@ -17,4 +17,11 @@ cargo test -q --workspace --offline
 echo "== gemm_sweep smoke (tiny sizes) =="
 cargo run -q --release --offline -p tesseract-bench --bin gemm_sweep -- \
     --sizes 96,128 --reps 2 --out target/BENCH_kernels.smoke.json
+
+# The copy-regression gate itself is crates/core/tests/collectives_parity.rs
+# (runs under `cargo test` above): any reintroduced per-receiver clone in the
+# SUMMA hot loop fails the `total_copies() == 0` assertions.
+echo "== collectives_sweep smoke (tiny sizes) =="
+cargo run -q --release --offline -p tesseract-bench --bin collectives_sweep -- \
+    --sizes 64 --reps 2 --iters 4 --out target/BENCH_collectives.smoke.json
 echo "ci.sh: OK"

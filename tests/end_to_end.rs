@@ -38,8 +38,8 @@ fn two_layer_stack_parity_across_all_grids() {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
             let mut model = TesseractTransformer::<DenseTensor>::new(ctx, &grid, c, true, SEED, 0);
-            let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
-            model.forward(&grid, ctx, &x_loc).into_matrix()
+            let x_loc = std::sync::Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+            model.forward(&grid, ctx, &x_loc).matrix().clone()
         });
         let y = combine_c(&out.results, shape);
         assert_slices_close(y.data(), y_ser.data(), 5e-4);
@@ -57,7 +57,7 @@ fn shadow_and_dense_runs_report_identical_simulated_time() {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let mut model = TesseractTransformer::<DenseTensor>::new(ctx, &grid, c, true, SEED, 0);
-        let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
+        let x_loc = std::sync::Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
         let y = model.forward(&grid, ctx, &x_loc);
         let _ = model.backward(&grid, ctx, &y);
         ctx.flush_compute();
@@ -65,7 +65,10 @@ fn shadow_and_dense_runs_report_identical_simulated_time() {
     let shadow = Cluster::a100(shape.size()).run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let mut model = TesseractTransformer::<ShadowTensor>::new(ctx, &grid, c, true, SEED, 0);
-        let x_loc = ShadowTensor::new(c.rows() / (shape.q * shape.d), c.hidden / shape.q);
+        let x_loc = std::sync::Arc::new(ShadowTensor::new(
+            c.rows() / (shape.q * shape.d),
+            c.hidden / shape.q,
+        ));
         let y = model.forward(&grid, ctx, &x_loc);
         let _ = model.backward(&grid, ctx, &y);
         ctx.flush_compute();
@@ -88,8 +91,9 @@ fn every_optimizer_trains_the_distributed_transformer() {
             let grid = TesseractGrid::new(ctx, shape, 0);
             let (i, j, k) = grid.coords;
             let mut model = TesseractTransformer::<DenseTensor>::new(ctx, &grid, c, true, SEED, 0);
-            let x_loc = DenseTensor::from_matrix(a_block(&x, shape, i, j, k));
-            let dy_loc = DenseTensor::from_matrix(a_block(&dy, shape, i, j, k));
+            let x_loc = std::sync::Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+            let dy_loc =
+                std::sync::Arc::new(DenseTensor::from_matrix(a_block(&dy, shape, i, j, k)));
             let _ = model.forward(&grid, ctx, &x_loc);
             let _ = model.backward(&grid, ctx, &dy_loc);
             let mut m = Meter::new();
@@ -161,7 +165,7 @@ fn makespan_accounting_is_consistent() {
     let out = Cluster::a100(shape.size()).run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let mut model = TesseractTransformer::<ShadowTensor>::new(ctx, &grid, c, true, SEED, 0);
-        let x = ShadowTensor::new(c.rows() / shape.q, c.hidden / shape.q);
+        let x = std::sync::Arc::new(ShadowTensor::new(c.rows() / shape.q, c.hidden / shape.q));
         let y = model.forward(&grid, ctx, &x);
         let _ = model.backward(&grid, ctx, &y);
         ctx.flush_compute();
