@@ -32,6 +32,7 @@ fn main() {
             backward: t.backward,
             throughput: t.throughput(12),
             inference: t.inference(12),
+            overlap_hidden: t.overlap_hidden,
             note: "",
         });
     }
@@ -51,6 +52,7 @@ fn main() {
             backward: t.backward,
             throughput: t.throughput(batch),
             inference: t.inference(batch),
+            overlap_hidden: t.overlap_hidden,
             note,
         });
     }
@@ -76,6 +78,7 @@ fn main() {
             backward: t.backward,
             throughput: t.throughput(batch),
             inference: t.inference(batch),
+            overlap_hidden: t.overlap_hidden,
             note,
         });
     }

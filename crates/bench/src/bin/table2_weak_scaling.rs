@@ -27,6 +27,7 @@ fn main() {
             backward: t.backward,
             throughput: t.throughput(batch),
             inference: t.inference(batch),
+            overlap_hidden: t.overlap_hidden,
             note: "",
         });
     }
@@ -47,6 +48,7 @@ fn main() {
             backward: t.backward,
             throughput: t.throughput(batch),
             inference: t.inference(batch),
+            overlap_hidden: t.overlap_hidden,
             note: "",
         });
     }
@@ -73,6 +75,7 @@ fn main() {
             backward: t.backward,
             throughput: t.throughput(batch),
             inference: t.inference(batch),
+            overlap_hidden: t.overlap_hidden,
             note: "",
         });
     }

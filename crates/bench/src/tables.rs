@@ -13,6 +13,9 @@ pub struct ResultRow {
     pub backward: f64,
     pub throughput: f64,
     pub inference: f64,
+    /// Collective wait hidden under compute by the split-phase pipeline
+    /// (seconds, max over ranks; 0 for schemes with blocking collectives).
+    pub overlap_hidden: f64,
     /// Annotation (e.g. batch adjusted for divisibility).
     pub note: &'static str,
 }
@@ -22,12 +25,12 @@ pub fn render_rows(title: &str, rows: &[ResultRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!("## {title}\n\n"));
     out.push_str(
-        "| parallelization | #GPUs | shape | batch | hidden | heads | fwd time/batch (s) | bwd time/batch (s) | throughput (seq/s) | inference (seq/s) | note |\n",
+        "| parallelization | #GPUs | shape | batch | hidden | heads | fwd time/batch (s) | bwd time/batch (s) | throughput (seq/s) | inference (seq/s) | hidden wait (s) | note |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     for r in rows {
         out.push_str(&format!(
-            "| {} | {} | {} | {} | {} | {} | {:.4} | {:.4} | {:.4} | {:.4} | {} |\n",
+            "| {} | {} | {} | {} | {} | {} | {:.4} | {:.4} | {:.4} | {:.4} | {:.4} | {} |\n",
             r.parallelization,
             r.gpus,
             r.shape,
@@ -38,6 +41,7 @@ pub fn render_rows(title: &str, rows: &[ResultRow]) -> String {
             r.backward,
             r.throughput,
             r.inference,
+            r.overlap_hidden,
             r.note,
         ));
     }
@@ -66,6 +70,7 @@ mod tests {
             backward: 0.2636,
             throughput: 2.8531,
             inference: 11.5075,
+            overlap_hidden: 0.0123,
             note: "",
         }
     }
@@ -77,6 +82,8 @@ mod tests {
         assert!(s.contains("[4,4,4]"));
         assert!(s.contains("0.0869"));
         assert!(s.contains("2.8531"));
+        assert!(s.contains("hidden wait (s)"));
+        assert!(s.contains("0.0123"));
     }
 
     #[test]

@@ -37,6 +37,8 @@ pub struct RankCtx {
     total_bytes_allocated: u64,
     total_payload_copies: u64,
     total_payload_copy_bytes: u64,
+    total_comm_wait_nanos: u64,
+    total_overlap_hidden_nanos: u64,
     fabric: Arc<Fabric>,
     stats: Arc<StatsCollector>,
 }
@@ -64,6 +66,8 @@ impl RankCtx {
             total_bytes_allocated: 0,
             total_payload_copies: 0,
             total_payload_copy_bytes: 0,
+            total_comm_wait_nanos: 0,
+            total_overlap_hidden_nanos: 0,
             fabric,
             stats,
         }
@@ -91,6 +95,10 @@ impl RankCtx {
         // `compute_time`: they are host memcpys outside the α–β model.
         self.total_payload_copies += m.payload_copies;
         self.total_payload_copy_bytes += m.payload_copy_bytes;
+        // Wait counters are bookkeeping only; `advance_comm` already booked
+        // the corresponding seconds into `comm_time`.
+        self.total_comm_wait_nanos += m.comm_wait_nanos;
+        self.total_overlap_hidden_nanos += m.overlap_hidden_nanos;
         if m.flops > 0.0 || m.kernels > 0 {
             let t = self.params.compute_time(m.flops, m.kernels);
             self.clock += t;
@@ -104,6 +112,7 @@ impl RankCtx {
     /// the difference as communication/wait time.
     pub(crate) fn advance_comm(&mut self, new_time: f64) {
         if new_time > self.clock {
+            self.meter.record_comm_wait(new_time - self.clock);
             self.comm_time += new_time - self.clock;
             self.clock = new_time;
         }
@@ -133,6 +142,8 @@ impl RankCtx {
             bytes_allocated: self.total_bytes_allocated,
             payload_copies: self.total_payload_copies,
             payload_copy_bytes: self.total_payload_copy_bytes,
+            comm_wait_nanos: self.total_comm_wait_nanos,
+            overlap_hidden_nanos: self.total_overlap_hidden_nanos,
         }
     }
 }
@@ -160,4 +171,10 @@ pub struct RankReport {
     pub payload_copies: u64,
     /// Bytes duplicated by those copies.
     pub payload_copy_bytes: u64,
+    /// Simulated nanoseconds this rank spent blocked in collectives (the
+    /// integer-nanosecond mirror of `comm_time`, at counter resolution).
+    pub comm_wait_nanos: u64,
+    /// Simulated nanoseconds of collective wait hidden under compute by
+    /// split-phase overlap (zero on the serial path).
+    pub overlap_hidden_nanos: u64,
 }

@@ -10,6 +10,14 @@
 //! * [`Fabric::send`] / [`Fabric::recv`] — ordered point-to-point channels
 //!   keyed by `(group id, src, dst, tag)`, used by pipeline parallelism.
 //!
+//! Both rendezvous primitives are **split-phase** internally:
+//! [`Fabric::deposit`] publishes one member's contribution without blocking
+//! and [`Fabric::wait`] blocks until the full group has arrived (the
+//! blocking `exchange` is literally `deposit` followed by `wait`). The
+//! split-phase collectives in [`crate::group`] use the two halves directly
+//! so a rank can deposit a payload, go compute, and only pay the rendezvous
+//! wait when it actually needs the result.
+//!
 //! SPMD contract: all members of a group must invoke the same collectives
 //! in the same order. A timeout (default 120 s, env-overridable)
 //! converts a violated contract (or a peer that panicked) into a
@@ -98,47 +106,58 @@ impl Fabric {
         Self { state: Mutex::new(FabricState::default()), cond: Condvar::new() }
     }
 
-    /// N-way rendezvous. Returns `(max entry vt, deposits)` where
-    /// `deposits[i]` is member `i`'s payload (if it deposited one).
+    /// Non-blocking half of [`Fabric::exchange`]: publishes this member's
+    /// contribution under `key` and returns immediately. The last arriver
+    /// assembles the deposit vector and wakes every waiter.
     ///
-    /// Panics if a member deposits twice under one key (a sequencing bug) or
-    /// if the rendezvous does not complete within the timeout.
-    pub fn exchange<P: Send + Sync + 'static>(
+    /// Panics if a member deposits twice under one key (a sequencing bug).
+    pub fn deposit<P: Send + Sync + 'static>(
         &self,
         key: SlotKey,
         my_index: usize,
         n: usize,
         payload: Option<P>,
         entry_vt: f64,
+    ) {
+        let mut state = lock_fabric(&self.state);
+        let slot = state.slots.entry(key).or_insert_with(|| Slot::new(n));
+        assert_eq!(slot.deposits.len(), n, "group size disagreement at rendezvous {key:?}");
+        assert!(
+            slot.deposits[my_index].is_none() && slot.result.is_none(),
+            "member {my_index} deposited twice at rendezvous {key:?}"
+        );
+        slot.deposits[my_index] = Some(Box::new(payload));
+        slot.entry_vts.push(entry_vt);
+        slot.arrived += 1;
+        if slot.arrived == n {
+            let max_vt = slot.entry_vts.iter().copied().fold(f64::MIN, f64::max);
+            let vec: Vec<Option<P>> = slot
+                .deposits
+                .iter_mut()
+                .map(|d| {
+                    *d.take()
+                        .expect("all deposits present")
+                        .downcast::<Option<P>>()
+                        .expect("payload type mismatch within one rendezvous")
+                })
+                .collect();
+            slot.result = Some((max_vt, Arc::new(vec)));
+            self.cond.notify_all();
+        }
+    }
+
+    /// Blocking half of [`Fabric::exchange`]: parks until all `n` members
+    /// have deposited under `key`, then returns `(max entry vt, deposits)`
+    /// where `deposits[i]` is member `i`'s payload (if it deposited one).
+    ///
+    /// Panics if the rendezvous does not complete within the timeout.
+    pub fn wait<P: Send + Sync + 'static>(
+        &self,
+        key: SlotKey,
+        my_index: usize,
+        n: usize,
     ) -> (f64, Arc<Vec<Option<P>>>) {
         let mut state = lock_fabric(&self.state);
-        {
-            let slot = state.slots.entry(key).or_insert_with(|| Slot::new(n));
-            assert_eq!(slot.deposits.len(), n, "group size disagreement at rendezvous {key:?}");
-            assert!(
-                slot.deposits[my_index].is_none() && slot.result.is_none(),
-                "member {my_index} deposited twice at rendezvous {key:?}"
-            );
-            slot.deposits[my_index] = Some(Box::new(payload));
-            slot.entry_vts.push(entry_vt);
-            slot.arrived += 1;
-            if slot.arrived == n {
-                let max_vt = slot.entry_vts.iter().copied().fold(f64::MIN, f64::max);
-                let vec: Vec<Option<P>> = slot
-                    .deposits
-                    .iter_mut()
-                    .map(|d| {
-                        *d.take()
-                            .expect("all deposits present")
-                            .downcast::<Option<P>>()
-                            .expect("payload type mismatch within one rendezvous")
-                    })
-                    .collect();
-                slot.result = Some((max_vt, Arc::new(vec)));
-                self.cond.notify_all();
-            }
-        }
-
         loop {
             if let Some(slot) = state.slots.get_mut(&key) {
                 if let Some((max_vt, result)) = slot.result.clone() {
@@ -166,18 +185,31 @@ impl Fabric {
         }
     }
 
-    /// N-way rendezvous that reduces the deposits into one shared value
-    /// instead of handing every member the full vector. Every member
-    /// deposits its payload *by value*; the last arriver moves all `n`
-    /// deposits out of the slot and folds them with `combine` **outside the
-    /// fabric lock** (a large reduction must not serialize unrelated
-    /// traffic), then publishes the result as a single `Arc` that every
-    /// member clones out. No deposit is ever copied: the combiner consumes
-    /// them, so the fold can reuse the first part's buffer in place.
+    /// N-way rendezvous: [`Fabric::deposit`] followed by [`Fabric::wait`].
+    pub fn exchange<P: Send + Sync + 'static>(
+        &self,
+        key: SlotKey,
+        my_index: usize,
+        n: usize,
+        payload: Option<P>,
+        entry_vt: f64,
+    ) -> (f64, Arc<Vec<Option<P>>>) {
+        self.deposit(key, my_index, n, payload, entry_vt);
+        self.wait(key, my_index, n)
+    }
+
+    /// Non-blocking half of [`Fabric::exchange_reduce`]: deposits this
+    /// member's payload *by value*; the last arriver moves all `n` deposits
+    /// out of the slot and folds them with `combine` **outside the fabric
+    /// lock** (a large reduction must not serialize unrelated traffic), then
+    /// publishes the result as a single `Arc` that every member clones out
+    /// of [`Fabric::wait_reduce`]. No deposit is ever copied: the combiner
+    /// consumes them, so the fold can reuse the first part's buffer in
+    /// place.
     ///
     /// The slot cannot be garbage-collected mid-combine because `taken`
     /// only advances once `result` is published.
-    pub fn exchange_reduce<P, F>(
+    pub fn deposit_reduce<P, F>(
         &self,
         key: SlotKey,
         my_index: usize,
@@ -185,8 +217,7 @@ impl Fabric {
         payload: P,
         entry_vt: f64,
         combine: F,
-    ) -> (f64, Arc<P>)
-    where
+    ) where
         P: Send + Sync + 'static,
         F: FnOnce(Vec<P>) -> P,
     {
@@ -226,7 +257,19 @@ impl Fabric {
             slot.result = Some((max_vt, Arc::new(combined)));
             self.cond.notify_all();
         }
+    }
 
+    /// Blocking half of [`Fabric::exchange_reduce`]: parks until the last
+    /// arriver has published the combined value, then clones the shared
+    /// `Arc` out. Panics if the rendezvous does not complete within the
+    /// timeout.
+    pub fn wait_reduce<P: Send + Sync + 'static>(
+        &self,
+        key: SlotKey,
+        my_index: usize,
+        n: usize,
+    ) -> (f64, Arc<P>) {
+        let mut state = lock_fabric(&self.state);
         loop {
             if let Some(slot) = state.slots.get_mut(&key) {
                 if let Some((max_vt, result)) = slot.result.clone() {
@@ -252,6 +295,25 @@ impl Fabric {
                 );
             }
         }
+    }
+
+    /// Reducing N-way rendezvous: [`Fabric::deposit_reduce`] followed by
+    /// [`Fabric::wait_reduce`].
+    pub fn exchange_reduce<P, F>(
+        &self,
+        key: SlotKey,
+        my_index: usize,
+        n: usize,
+        payload: P,
+        entry_vt: f64,
+        combine: F,
+    ) -> (f64, Arc<P>)
+    where
+        P: Send + Sync + 'static,
+        F: FnOnce(Vec<P>) -> P,
+    {
+        self.deposit_reduce(key, my_index, n, payload, entry_vt, combine);
+        self.wait_reduce(key, my_index, n)
     }
 
     /// Deposits a point-to-point message; never blocks.

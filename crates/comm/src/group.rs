@@ -31,8 +31,31 @@
 //! freely but must never be mutated through `Arc::get_mut` — other ranks
 //! (or the fabric slot, transiently) may hold clones. Use
 //! `Arc::make_mut` for copy-on-write or clone explicitly.
+//!
+//! # Split-phase collectives
+//!
+//! Every data-moving collective also exists as a `*_begin` variant that
+//! returns a [`PendingCollective`]: the payload is deposited into the
+//! fabric immediately (after flushing pending compute, so the deposit
+//! timestamp is exact), and the blocking wait plus all clock/cost/stat
+//! accounting is deferred to [`PendingCollective::complete`]. Compute
+//! issued between `begin` and `complete` overlaps the rendezvous; at
+//! `complete` the clock is only advanced to the collective's serial exit
+//! time (`max(entry clocks) + α–β cost`) if it is not already past it, so
+//! the virtual clock charges exactly the *non-overlapped remainder* of the
+//! wait. The hidden portion is recorded in `Meter::overlap_hidden_nanos`
+//! and [`crate::stats::OpStats::hidden_time`] instead of being charged.
+//!
+//! Data results are bitwise identical to the blocking calls: the same
+//! fabric slots, the same `Arc` sharing, the same ascending-member-order
+//! folds — only the timing accounting differs.
+//!
+//! Pending collectives on one group must be completed in begin order
+//! (FIFO, the NCCL stream discipline); completing out of order panics, as
+//! does dropping a handle without completing it.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use tesseract_tensor::TensorLike;
@@ -133,6 +156,10 @@ pub struct CommGroup {
     ranks: Vec<usize>,
     my_index: usize,
     seq: Cell<u64>,
+    /// Sequence numbers of split-phase collectives begun but not yet
+    /// completed, in begin order. `complete` must drain this FIFO from the
+    /// front; anything else is a sequencing bug on this rank.
+    outstanding: RefCell<VecDeque<u64>>,
 }
 
 impl CommGroup {
@@ -142,7 +169,13 @@ impl CommGroup {
             .iter()
             .position(|&r| r == ctx.rank)
             .unwrap_or_else(|| panic!("rank {} not a member of group '{tag}' {ranks:?}", ctx.rank));
-        Self { id: group_id(tag, &ranks), ranks, my_index, seq: Cell::new(0) }
+        Self {
+            id: group_id(tag, &ranks),
+            ranks,
+            my_index,
+            seq: Cell::new(0),
+            outstanding: RefCell::new(VecDeque::new()),
+        }
     }
 
     pub fn size(&self) -> usize {
@@ -392,6 +425,241 @@ impl CommGroup {
         )
     }
 
+    // ---- Split-phase collectives ------------------------------------
+
+    /// Non-blocking first half shared by all split-phase non-reducing
+    /// collectives: flushes pending compute (so the deposit timestamp is
+    /// exact), deposits the payload, and registers the sequence number as
+    /// outstanding. Returns `(seq, deposit timestamp)`.
+    fn begin_sync<P: Send + Sync + 'static>(
+        &self,
+        ctx: &mut RankCtx,
+        payload: Option<P>,
+    ) -> (u64, f64) {
+        ctx.flush_compute();
+        let seq = self.next_seq();
+        let deposit_vt = ctx.clock();
+        ctx.fabric().deposit((self.id, seq), self.my_index, self.size(), payload, deposit_vt);
+        self.outstanding.borrow_mut().push_back(seq);
+        (seq, deposit_vt)
+    }
+
+    /// Reducing counterpart of [`CommGroup::begin_sync`]. The payload's
+    /// wire size must be captured here — it is consumed by the fold.
+    /// Returns `(seq, deposit timestamp, wire bytes)`.
+    fn begin_reduce<P: Payload>(&self, ctx: &mut RankCtx, payload: P) -> (u64, f64, usize) {
+        ctx.flush_compute();
+        let bytes = payload.wire_size();
+        let seq = self.next_seq();
+        let deposit_vt = ctx.clock();
+        ctx.fabric().deposit_reduce(
+            (self.id, seq),
+            self.my_index,
+            self.size(),
+            payload,
+            deposit_vt,
+            combine_parts_in_order,
+        );
+        self.outstanding.borrow_mut().push_back(seq);
+        (seq, deposit_vt, bytes)
+    }
+
+    /// Enforces the FIFO completion discipline: `seq` must be the oldest
+    /// outstanding begin on this group.
+    fn pop_outstanding(&self, op: CollectiveOp, seq: u64) {
+        let mut q = self.outstanding.borrow_mut();
+        let front = *q.front().unwrap_or_else(|| {
+            panic!("completing {} seq {seq} but no split-phase begin is outstanding", op.name())
+        });
+        assert_eq!(
+            front,
+            seq,
+            "split-phase collective completed out of order: completing {} seq {seq} \
+             but the oldest outstanding begin is seq {front}",
+            op.name()
+        );
+        q.pop_front();
+    }
+
+    /// Clock/cost/stat accounting for the completion half. The serial exit
+    /// time is `max(entry clocks) + α–β cost` — identical to the blocking
+    /// path — but the clock only advances by the *non-overlapped remainder*:
+    /// whatever portion of the wait the caller's compute already covered is
+    /// recorded as hidden time instead of being charged. `deferred_size`
+    /// mirrors the blocking broadcast/scatter charging (zero-byte latency
+    /// plus a size-dependent recharge; only the recharge reaches the stats).
+    fn finish_charge(
+        &self,
+        ctx: &mut RankCtx,
+        op: CollectiveOp,
+        max_vt: f64,
+        bytes: usize,
+        deposit_vt: f64,
+        deferred_size: bool,
+    ) {
+        let link = ctx.topology.worst_link(&self.ranks);
+        let cost_b = ctx.params.collective_time(op, self.size(), bytes, link);
+        let cost0 =
+            if deferred_size { ctx.params.collective_time(op, self.size(), 0, link) } else { 0.0 };
+        let target = max_vt + cost0 + cost_b;
+        let hidden = (ctx.clock().min(target) - deposit_vt).max(0.0);
+        if hidden > 0.0 {
+            ctx.meter.record_overlap_hidden(hidden);
+            ctx.stats().record_hidden(op, hidden);
+        }
+        ctx.advance_comm(target);
+        if self.my_index == 0 {
+            let wire = ctx.params.wire_bytes(op, self.size(), bytes);
+            ctx.stats().record(op, wire, cost_b);
+        }
+    }
+
+    fn pending<'g, R: 'g>(
+        &'g self,
+        op: CollectiveOp,
+        seq: u64,
+        finish: impl FnOnce(&mut RankCtx) -> R + 'g,
+    ) -> PendingCollective<'g, R> {
+        PendingCollective { op, seq, finish: Some(Box::new(finish)) }
+    }
+
+    /// Split-phase [`CommGroup::broadcast_shared`]: deposits the root's
+    /// `Arc` immediately; the returned handle blocks (and pays only the
+    /// non-overlapped wait) at `complete`. Data is bitwise identical to the
+    /// blocking call — every member receives a clone of the same allocation.
+    pub fn broadcast_shared_begin<'g, P: Payload>(
+        &'g self,
+        ctx: &mut RankCtx,
+        root: usize,
+        payload: Option<Arc<P>>,
+    ) -> PendingCollective<'g, Arc<P>> {
+        assert_eq!(
+            payload.is_some(),
+            self.my_index == root,
+            "broadcast: exactly the root must supply the payload"
+        );
+        let (seq, deposit_vt) = self.begin_sync(ctx, payload);
+        self.pending(CollectiveOp::Broadcast, seq, move |ctx| {
+            self.pop_outstanding(CollectiveOp::Broadcast, seq);
+            ctx.flush_compute();
+            let (max_vt, deposits) =
+                ctx.fabric().wait::<Arc<P>>((self.id, seq), self.my_index, self.size());
+            let value = Arc::clone(deposits[root].as_ref().expect("root deposited"));
+            self.finish_charge(
+                ctx,
+                CollectiveOp::Broadcast,
+                max_vt,
+                value.wire_size(),
+                deposit_vt,
+                true,
+            );
+            value
+        })
+    }
+
+    /// Split-phase [`CommGroup::broadcast`] (owned result; one counted copy
+    /// per member, made at `complete`).
+    pub fn broadcast_begin<'g, P: Payload>(
+        &'g self,
+        ctx: &mut RankCtx,
+        root: usize,
+        payload: Option<P>,
+    ) -> PendingCollective<'g, P> {
+        self.broadcast_shared_begin(ctx, root, payload.map(Arc::new))
+            .map(move |ctx, shared| self.clone_counted(ctx, CollectiveOp::Broadcast, &*shared))
+    }
+
+    /// Split-phase [`CommGroup::reduce_shared`]: the payload is consumed
+    /// and deposited immediately; `complete` hands the root the combined
+    /// value (ascending member-order fold, bitwise identical to blocking).
+    pub fn reduce_shared_begin<'g, P: Payload>(
+        &'g self,
+        ctx: &mut RankCtx,
+        root: usize,
+        payload: P,
+    ) -> PendingCollective<'g, Option<Arc<P>>> {
+        let (seq, deposit_vt, bytes) = self.begin_reduce(ctx, payload);
+        self.pending(CollectiveOp::Reduce, seq, move |ctx| {
+            self.pop_outstanding(CollectiveOp::Reduce, seq);
+            ctx.flush_compute();
+            let (max_vt, combined) =
+                ctx.fabric().wait_reduce::<P>((self.id, seq), self.my_index, self.size());
+            self.finish_charge(ctx, CollectiveOp::Reduce, max_vt, bytes, deposit_vt, false);
+            (self.my_index == root).then_some(combined)
+        })
+    }
+
+    /// Split-phase [`CommGroup::reduce`] (owned result at root; one counted
+    /// copy, made at `complete`).
+    pub fn reduce_begin<'g, P: Payload>(
+        &'g self,
+        ctx: &mut RankCtx,
+        root: usize,
+        payload: P,
+    ) -> PendingCollective<'g, Option<P>> {
+        self.reduce_shared_begin(ctx, root, payload).map(move |ctx, shared| {
+            shared.map(|s| self.clone_counted(ctx, CollectiveOp::Reduce, &*s))
+        })
+    }
+
+    /// Split-phase [`CommGroup::all_reduce_shared`].
+    pub fn all_reduce_shared_begin<'g, P: Payload>(
+        &'g self,
+        ctx: &mut RankCtx,
+        payload: P,
+    ) -> PendingCollective<'g, Arc<P>> {
+        let (seq, deposit_vt, bytes) = self.begin_reduce(ctx, payload);
+        self.pending(CollectiveOp::AllReduce, seq, move |ctx| {
+            self.pop_outstanding(CollectiveOp::AllReduce, seq);
+            ctx.flush_compute();
+            let (max_vt, combined) =
+                ctx.fabric().wait_reduce::<P>((self.id, seq), self.my_index, self.size());
+            self.finish_charge(ctx, CollectiveOp::AllReduce, max_vt, bytes, deposit_vt, false);
+            combined
+        })
+    }
+
+    /// Split-phase [`CommGroup::all_reduce`] (owned result; one counted
+    /// copy per member, made at `complete`).
+    pub fn all_reduce_begin<'g, P: Payload>(
+        &'g self,
+        ctx: &mut RankCtx,
+        payload: P,
+    ) -> PendingCollective<'g, P> {
+        self.all_reduce_shared_begin(ctx, payload)
+            .map(move |ctx, shared| self.clone_counted(ctx, CollectiveOp::AllReduce, &*shared))
+    }
+
+    /// Split-phase [`CommGroup::all_gather_shared`].
+    pub fn all_gather_shared_begin<'g, P: Payload>(
+        &'g self,
+        ctx: &mut RankCtx,
+        payload: Arc<P>,
+    ) -> PendingCollective<'g, Vec<Arc<P>>> {
+        let bytes = payload.wire_size();
+        let (seq, deposit_vt) = self.begin_sync(ctx, Some(payload));
+        self.pending(CollectiveOp::AllGather, seq, move |ctx| {
+            self.pop_outstanding(CollectiveOp::AllGather, seq);
+            ctx.flush_compute();
+            let (max_vt, deposits) =
+                ctx.fabric().wait::<Arc<P>>((self.id, seq), self.my_index, self.size());
+            self.finish_charge(ctx, CollectiveOp::AllGather, max_vt, bytes, deposit_vt, false);
+            deposits.iter().map(|d| Arc::clone(d.as_ref().expect("all deposited"))).collect()
+        })
+    }
+
+    /// Split-phase [`CommGroup::all_gather`] (owned results; `n` counted
+    /// copies per member, made at `complete`).
+    pub fn all_gather_begin<'g, P: Payload>(
+        &'g self,
+        ctx: &mut RankCtx,
+        payload: P,
+    ) -> PendingCollective<'g, Vec<P>> {
+        self.all_gather_shared_begin(ctx, Arc::new(payload)).map(move |ctx, shared| {
+            shared.iter().map(|d| self.clone_counted(ctx, CollectiveOp::AllGather, &**d)).collect()
+        })
+    }
+
     /// Point-to-point send to another member (by member index).
     pub fn send<P: Payload>(&self, ctx: &mut RankCtx, dst: usize, tag: u64, payload: P) {
         assert!(dst < self.size() && dst != self.my_index, "send: bad destination");
@@ -419,6 +687,60 @@ impl CommGroup {
         let ready = send_vt.max(ctx.clock());
         ctx.advance_comm(ready + cost);
         payload
+    }
+}
+
+/// A split-phase collective whose payload is already deposited in the
+/// fabric. Obtained from the `*_begin` methods on [`CommGroup`]; the result
+/// (and all clock/cost accounting) is produced by
+/// [`PendingCollective::complete`].
+///
+/// Handles on one group must be completed in begin order; completing out of
+/// order panics. Dropping a handle without completing it also panics — a
+/// forgotten `complete` would silently desynchronize the group's SPMD
+/// schedule and wedge peers at the rendezvous timeout instead.
+pub struct PendingCollective<'g, R> {
+    op: CollectiveOp,
+    seq: u64,
+    finish: Option<Box<dyn FnOnce(&mut RankCtx) -> R + 'g>>,
+}
+
+impl<'g, R> PendingCollective<'g, R> {
+    /// The collective op this handle belongs to.
+    pub fn op(&self) -> CollectiveOp {
+        self.op
+    }
+
+    /// Blocks until the rendezvous is full, charges the non-overlapped
+    /// remainder of the wait to the virtual clock, and returns the result.
+    pub fn complete(mut self, ctx: &mut RankCtx) -> R {
+        let finish = self.finish.take().expect("finish closure present until complete");
+        finish(ctx)
+    }
+
+    /// Post-processes the eventual result (used by the owned-value wrappers
+    /// to defer their counted copies to `complete`).
+    fn map<S>(mut self, f: impl FnOnce(&mut RankCtx, R) -> S + 'g) -> PendingCollective<'g, S>
+    where
+        R: 'g,
+    {
+        let finish = self.finish.take().expect("finish closure present until complete");
+        PendingCollective {
+            op: self.op,
+            seq: self.seq,
+            finish: Some(Box::new(move |ctx| {
+                let r = finish(ctx);
+                f(ctx, r)
+            })),
+        }
+    }
+}
+
+impl<R> Drop for PendingCollective<'_, R> {
+    fn drop(&mut self) {
+        if self.finish.is_some() && !std::thread::panicking() {
+            panic!("split-phase {} (seq {}) dropped without complete()", self.op.name(), self.seq);
+        }
     }
 }
 

@@ -26,6 +26,6 @@ pub mod topology;
 pub use cluster::{Cluster, RunOutput};
 pub use cost::{CollectiveOp, CostParams};
 pub use ctx::{RankCtx, RankReport};
-pub use group::{CommGroup, Payload};
+pub use group::{CommGroup, Payload, PendingCollective};
 pub use stats::{CommStats, OpStats, StatsCollector};
 pub use topology::{Link, Topology};

@@ -25,6 +25,11 @@ pub struct OpStats {
     pub copies: u64,
     /// Bytes duplicated by those copies.
     pub copy_bytes: u64,
+    /// Simulated seconds of this op's wait that split-phase overlap hid
+    /// under compute, summed over *all* ranks (each rank hides a different
+    /// amount depending on how much compute it had in flight). Zero on the
+    /// blocking path. Informational: `time` still records the full op cost.
+    pub hidden_time: f64,
 }
 
 /// Shared, thread-safe statistics collector for one cluster run.
@@ -57,6 +62,14 @@ impl StatsCollector {
         let entry = inner.entry(op).or_default();
         entry.copies += 1;
         entry.copy_bytes += bytes;
+    }
+
+    /// Records `seconds` of `op` wait hidden under compute by one rank's
+    /// split-phase `begin`/`complete` pair. Like `record_copy`, called by
+    /// every rank that hides wait, so totals are cluster-wide.
+    pub fn record_hidden(&self, op: CollectiveOp, seconds: f64) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.entry(op).or_default().hidden_time += seconds;
     }
 
     /// Snapshot of all op totals.
@@ -96,22 +109,29 @@ impl CommStats {
         self.per_op.values().map(|s| s.copy_bytes).sum()
     }
 
+    /// Total simulated seconds of collective wait hidden under compute by
+    /// split-phase overlap, summed over all ops and all ranks.
+    pub fn total_hidden_time(&self) -> f64 {
+        self.per_op.values().map(|s| s.hidden_time).sum()
+    }
+
     /// Renders a small human-readable table (used by examples and bins).
     pub fn render_table(&self) -> String {
         let mut out = String::from(
-            "collective    calls      wire bytes        sim time (s)  copies      copy bytes\n",
+            "collective    calls      wire bytes        sim time (s)  copies      copy bytes      hidden (s)\n",
         );
         let mut ops: Vec<_> = self.per_op.iter().collect();
         ops.sort_by_key(|(op, _)| op.name());
         for (op, s) in ops {
             out.push_str(&format!(
-                "{:<12} {:>6} {:>15} {:>19.6} {:>7} {:>15}\n",
+                "{:<12} {:>6} {:>15} {:>19.6} {:>7} {:>15} {:>15.6}\n",
                 op.name(),
                 s.calls,
                 s.wire_bytes,
                 s.time,
                 s.copies,
-                s.copy_bytes
+                s.copy_bytes,
+                s.hidden_time
             ));
         }
         out
@@ -156,6 +176,22 @@ mod tests {
         assert_eq!(s.get(CollectiveOp::AllGather).calls, 0);
         assert_eq!(s.total_copies(), 3);
         assert_eq!(s.total_copy_bytes(), 160);
+    }
+
+    #[test]
+    fn hidden_time_accumulates_per_op() {
+        let c = StatsCollector::new();
+        c.record(CollectiveOp::Broadcast, 100, 0.5);
+        c.record_hidden(CollectiveOp::Broadcast, 0.125);
+        c.record_hidden(CollectiveOp::Broadcast, 0.25);
+        c.record_hidden(CollectiveOp::AllReduce, 0.5);
+        let s = c.snapshot();
+        assert_eq!(s.get(CollectiveOp::Broadcast).hidden_time, 0.375);
+        // Hidden time never inflates the logical call/time accounting.
+        assert_eq!(s.get(CollectiveOp::Broadcast).calls, 1);
+        assert_eq!(s.get(CollectiveOp::Broadcast).time, 0.5);
+        assert_eq!(s.get(CollectiveOp::AllReduce).calls, 0);
+        assert_eq!(s.total_hidden_time(), 0.875);
     }
 
     #[test]

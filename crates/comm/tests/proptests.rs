@@ -137,6 +137,47 @@ proptest! {
     }
 
     #[test]
+    fn split_phase_matches_blocking_bitwise(
+        n in 2usize..5,
+        rows in 1usize..6,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        // `begin` + `complete` must agree bitwise with the blocking call
+        // for all four data-moving collectives on arbitrary payload shapes
+        // (the fold order is pinned to ascending member index either way).
+        let out = Cluster::a100(n).run(move |ctx| {
+            let g = ctx.world_group();
+            let mine = {
+                let mut rng = tesseract_tensor::Xoshiro256StarStar::seed_from_u64(
+                    seed.wrapping_mul(37).wrapping_add(ctx.rank as u64),
+                );
+                DenseTensor::from_matrix(Matrix::random_uniform(rows, cols, -1.0, 1.0, &mut rng))
+            };
+            let blocking_b = g.broadcast(ctx, 0, (ctx.rank == 0).then(|| mine.clone()));
+            let split_b =
+                g.broadcast_begin(ctx, 0, (ctx.rank == 0).then(|| mine.clone())).complete(ctx);
+            let b_ok = blocking_b.matrix() == split_b.matrix();
+            let blocking_ar = g.all_reduce(ctx, mine.clone());
+            let split_ar = g.all_reduce_begin(ctx, mine.clone()).complete(ctx);
+            let ar_ok = blocking_ar.matrix() == split_ar.matrix();
+            let blocking_r = g.reduce(ctx, 0, mine.clone());
+            let split_r = g.reduce_begin(ctx, 0, mine.clone()).complete(ctx);
+            let r_ok = match (&blocking_r, &split_r) {
+                (Some(a), Some(b)) => a.matrix() == b.matrix(),
+                (None, None) => true,
+                _ => false,
+            };
+            let blocking_g = g.all_gather(ctx, mine.clone());
+            let split_g = g.all_gather_begin(ctx, mine).complete(ctx);
+            let g_ok = blocking_g.len() == split_g.len()
+                && blocking_g.iter().zip(split_g.iter()).all(|(a, b)| a.matrix() == b.matrix());
+            b_ok && ar_ok && r_ok && g_ok
+        });
+        prop_assert!(out.results.iter().all(|&ok| ok));
+    }
+
+    #[test]
     fn all_gather_preserves_order(n in 2usize..6) {
         let out = Cluster::a100(n).run(move |ctx| {
             let g = ctx.world_group();

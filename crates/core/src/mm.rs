@@ -9,13 +9,45 @@
 //! algorithm; in between they are the paper's 2.5-D scheme in which the `d`
 //! layers run `q×q` SUMMA multiplications concurrently over disjoint row
 //! bands of `A`/`C`, sharing only the replicated `B`.
+//!
+//! # Double-buffered pipeline
+//!
+//! The main entry points run the SUMMA loop **double-buffered** on the
+//! split-phase collectives: the step-`t+1` panel broadcasts are begun
+//! before the step-`t` partial product is computed, so the rendezvous wait
+//! overlaps the GEMM; likewise the partial-sum reductions of the backward
+//! rules are begun as soon as a partial is computed and completed one step
+//! later, and `tesseract_matmul_tn`'s depth all-reduce is begun the moment
+//! the local contribution is final. Results are **bitwise identical** to
+//! the serial loop — the panels travel as the same shared `Arc`s and the
+//! reductions fold in the same ascending member order; only the virtual
+//! clock improves (the hidden wait is reported via
+//! `Meter::overlap_hidden_nanos`). The `*_serial` twins run the original
+//! blocking loops and exist as the parity/ablation baseline.
 
 use std::sync::Arc;
 
-use tesseract_comm::{Payload, RankCtx};
+use tesseract_comm::{Payload, PendingCollective, RankCtx};
 use tesseract_tensor::TensorLike;
 
 use crate::grid::TesseractGrid;
+
+/// Begins the step-`t` row/column panel broadcasts of Algorithm 3 (the
+/// shared prefetch half of the double-buffered loop).
+fn begin_panels<'g, T>(
+    grid: &'g TesseractGrid,
+    ctx: &mut RankCtx,
+    a_local: &Arc<T>,
+    b_local: &Arc<T>,
+    t: usize,
+) -> (PendingCollective<'g, Arc<T>>, PendingCollective<'g, Arc<T>>)
+where
+    T: TensorLike + Payload,
+{
+    let a = grid.row.broadcast_shared_begin(ctx, t, (grid.j() == t).then(|| Arc::clone(a_local)));
+    let b = grid.col.broadcast_shared_begin(ctx, t, (grid.i() == t).then(|| Arc::clone(b_local)));
+    (a, b)
+}
 
 /// `C = A·B` (Algorithm 3).
 ///
@@ -31,6 +63,11 @@ use crate::grid::TesseractGrid;
 /// its local block (no self-clone) and every member multiplies against the
 /// shared allocation, so each panel is materialized exactly once per
 /// rendezvous regardless of the group size.
+///
+/// The loop is double-buffered: step `t+1`'s panel broadcasts are begun
+/// before step `t`'s partial product is computed, hiding the rendezvous
+/// wait under the GEMM. Data is bitwise identical to
+/// [`tesseract_matmul_serial`].
 pub fn tesseract_matmul<T>(
     grid: &TesseractGrid,
     ctx: &mut RankCtx,
@@ -42,17 +79,48 @@ where
 {
     let q = grid.shape.q;
     assert_eq!(a_local.cols(), b_local.rows(), "tesseract_matmul: inner block dims disagree");
-    let mut c: Option<T> = None;
-    for t in 0..q {
+    let (pa, pb) = begin_panels(grid, ctx, a_local, b_local, 0);
+    let a_t = pa.complete(ctx);
+    let b_t = pb.complete(ctx);
+    let mut next = (q > 1).then(|| begin_panels(grid, ctx, a_local, b_local, 1));
+    let mut c = a_t.matmul(&b_t, &mut ctx.meter);
+    for t in 1..q {
+        let (pa, pb) = next.take().expect("prefetched by the previous step");
+        let a_t = pa.complete(ctx);
+        let b_t = pb.complete(ctx);
+        if t + 1 < q {
+            next = Some(begin_panels(grid, ctx, a_local, b_local, t + 1));
+        }
+        let partial = a_t.matmul(&b_t, &mut ctx.meter);
+        c.add_assign(&partial, &mut ctx.meter);
+    }
+    c
+}
+
+/// Blocking-collective reference for [`tesseract_matmul`]: the original
+/// serial SUMMA loop (broadcast, broadcast, multiply — every step waits).
+/// Kept as the parity baseline and the `overlap_sweep` ablation.
+pub fn tesseract_matmul_serial<T>(
+    grid: &TesseractGrid,
+    ctx: &mut RankCtx,
+    a_local: &Arc<T>,
+    b_local: &Arc<T>,
+) -> T
+where
+    T: TensorLike + Payload,
+{
+    let q = grid.shape.q;
+    assert_eq!(a_local.cols(), b_local.rows(), "tesseract_matmul: inner block dims disagree");
+    let a_t = grid.row.broadcast_shared(ctx, 0, (grid.j() == 0).then(|| Arc::clone(a_local)));
+    let b_t = grid.col.broadcast_shared(ctx, 0, (grid.i() == 0).then(|| Arc::clone(b_local)));
+    let mut c = a_t.matmul(&b_t, &mut ctx.meter);
+    for t in 1..q {
         let a_t = grid.row.broadcast_shared(ctx, t, (grid.j() == t).then(|| Arc::clone(a_local)));
         let b_t = grid.col.broadcast_shared(ctx, t, (grid.i() == t).then(|| Arc::clone(b_local)));
         let partial = a_t.matmul(&b_t, &mut ctx.meter);
-        match c.as_mut() {
-            None => c = Some(partial),
-            Some(acc) => acc.add_assign(&partial, &mut ctx.meter),
-        }
+        c.add_assign(&partial, &mut ctx.meter);
     }
-    c.expect("q >= 1")
+    c
 }
 
 /// `C = A·Bᵀ` — the activation-gradient rule `A' = C'·Bᵀ` of Eq. 3.
@@ -68,7 +136,56 @@ where
 /// The weight panel is `Arc`-shared along the column and the freshly
 /// computed partials are consumed by the in-place row reduction, so the
 /// whole backward rule performs zero payload copies.
+///
+/// Double-buffered: step `t+1`'s column broadcast is begun before step
+/// `t`'s GEMM, and each step's row reduction is begun right after its
+/// partial is computed but only completed one step later — both waits hide
+/// under the next GEMM. Data is bitwise identical to
+/// [`tesseract_matmul_nt_serial`].
 pub fn tesseract_matmul_nt<T>(
+    grid: &TesseractGrid,
+    ctx: &mut RankCtx,
+    a_local: &T,
+    b_local: &Arc<T>,
+) -> Arc<T>
+where
+    T: TensorLike + Payload,
+{
+    let q = grid.shape.q;
+    assert_eq!(a_local.cols(), b_local.cols(), "tesseract_matmul_nt: inner block dims disagree");
+    let mut mine: Option<Arc<T>> = None;
+    let pb = grid.col.broadcast_shared_begin(ctx, 0, (grid.i() == 0).then(|| Arc::clone(b_local)));
+    let b_t = pb.complete(ctx);
+    let mut next_b = (q > 1).then(|| {
+        grid.col.broadcast_shared_begin(ctx, 1, (grid.i() == 1).then(|| Arc::clone(b_local)))
+    });
+    let partial = a_local.matmul_nt(&b_t, &mut ctx.meter);
+    let mut pending_red = grid.row.reduce_shared_begin(ctx, 0, partial);
+    for t in 1..q {
+        let pb = next_b.take().expect("prefetched by the previous step");
+        let b_t = pb.complete(ctx);
+        if t + 1 < q {
+            next_b = Some(grid.col.broadcast_shared_begin(
+                ctx,
+                t + 1,
+                (grid.i() == t + 1).then(|| Arc::clone(b_local)),
+            ));
+        }
+        let partial = a_local.matmul_nt(&b_t, &mut ctx.meter);
+        if let Some(r) = pending_red.complete(ctx) {
+            mine = Some(r);
+        }
+        pending_red = grid.row.reduce_shared_begin(ctx, t, partial);
+    }
+    if let Some(r) = pending_red.complete(ctx) {
+        mine = Some(r);
+    }
+    mine.expect("every rank is root for exactly one t")
+}
+
+/// Blocking-collective reference for [`tesseract_matmul_nt`]: one fully
+/// synchronous broadcast + reduce per step.
+pub fn tesseract_matmul_nt_serial<T>(
     grid: &TesseractGrid,
     ctx: &mut RankCtx,
     a_local: &T,
@@ -103,7 +220,87 @@ where
 /// partial weight gradients are finally **all-reduced across depth**
 /// (`depth_reduce = true`), exactly as §3.1 prescribes for `B'`. Pass
 /// `false` to inspect the per-layer partials (used by tests and ablations).
+///
+/// Double-buffered like [`tesseract_matmul_nt`]; in addition the depth
+/// all-reduce is begun the moment this rank's column reduction delivers
+/// its final local contribution (at step `t = i`, the same program point
+/// on every member of the depth fiber), so it overlaps the remaining SUMMA
+/// steps. Data is bitwise identical to [`tesseract_matmul_tn_serial`].
 pub fn tesseract_matmul_tn<T>(
+    grid: &TesseractGrid,
+    ctx: &mut RankCtx,
+    a_local: &Arc<T>,
+    b_local: &T,
+    depth_reduce: bool,
+) -> Arc<T>
+where
+    T: TensorLike + Payload,
+{
+    let q = grid.shape.q;
+    assert_eq!(a_local.rows(), b_local.rows(), "tesseract_matmul_tn: inner block dims disagree");
+    let overlap_depth = depth_reduce && grid.shape.d > 1;
+    let mut mine: Option<Arc<T>> = None;
+    let mut depth_pending: Option<PendingCollective<'_, Arc<Arc<T>>>> = None;
+    let pa = grid.row.broadcast_shared_begin(ctx, 0, (grid.j() == 0).then(|| Arc::clone(a_local)));
+    let a_t = pa.complete(ctx);
+    let mut next_a = (q > 1).then(|| {
+        grid.row.broadcast_shared_begin(ctx, 1, (grid.j() == 1).then(|| Arc::clone(a_local)))
+    });
+    let partial = a_t.matmul_tn(b_local, &mut ctx.meter);
+    let mut pending_red = grid.col.reduce_shared_begin(ctx, 0, partial);
+    for t in 1..q {
+        let pa = next_a.take().expect("prefetched by the previous step");
+        let a_t = pa.complete(ctx);
+        if t + 1 < q {
+            next_a = Some(grid.row.broadcast_shared_begin(
+                ctx,
+                t + 1,
+                (grid.j() == t + 1).then(|| Arc::clone(a_local)),
+            ));
+        }
+        let partial = a_t.matmul_tn(b_local, &mut ctx.meter);
+        let reduced = pending_red.complete(ctx);
+        settle_reduced(grid, ctx, overlap_depth, reduced, &mut mine, &mut depth_pending);
+        pending_red = grid.col.reduce_shared_begin(ctx, t, partial);
+    }
+    let reduced = pending_red.complete(ctx);
+    settle_reduced(grid, ctx, overlap_depth, reduced, &mut mine, &mut depth_pending);
+    if let Some(dp) = depth_pending {
+        mine = Some(Arc::clone(&*dp.complete(ctx)));
+    }
+    mine.expect("every rank is root for exactly one t")
+}
+
+/// Disposes of one completed column reduction in [`tesseract_matmul_tn`]:
+/// the step-`t` root (rank `i == t`) either keeps the combined block or,
+/// when overlapping the depth all-reduce, begins it immediately — the same
+/// program point on every member of its depth fiber, so the fiber's SPMD
+/// schedule stays aligned.
+fn settle_reduced<'g, T>(
+    grid: &'g TesseractGrid,
+    ctx: &mut RankCtx,
+    overlap_depth: bool,
+    reduced: Option<Arc<T>>,
+    mine: &mut Option<Arc<T>>,
+    depth_pending: &mut Option<PendingCollective<'g, Arc<Arc<T>>>>,
+) where
+    T: TensorLike + Payload,
+{
+    if let Some(r) = reduced {
+        if overlap_depth {
+            // Reduce *through* the Arc: copy-on-write touches only member
+            // 0's accumulator, and every depth replica ends up holding the
+            // same combined allocation.
+            *depth_pending = Some(grid.depth.all_reduce_shared_begin(ctx, r));
+        } else {
+            *mine = Some(r);
+        }
+    }
+}
+
+/// Blocking-collective reference for [`tesseract_matmul_tn`]: one fully
+/// synchronous broadcast + reduce per step, depth all-reduce at the end.
+pub fn tesseract_matmul_tn_serial<T>(
     grid: &TesseractGrid,
     ctx: &mut RankCtx,
     a_local: &Arc<T>,

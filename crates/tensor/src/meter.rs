@@ -29,6 +29,21 @@ pub struct Meter {
     pub payload_copies: u64,
     /// Bytes duplicated by those payload copies.
     pub payload_copy_bytes: u64,
+    /// Simulated nanoseconds this rank's clock spent blocked in collectives
+    /// (the `advance_comm` deltas). Recorded as integer nanoseconds so the
+    /// counter is bitwise deterministic across runs.
+    pub comm_wait_nanos: u64,
+    /// Simulated nanoseconds of collective wait that split-phase overlap
+    /// hid under compute (zero on the serial path). Informational: already
+    /// excluded from `comm_wait_nanos`, never re-charged.
+    pub overlap_hidden_nanos: u64,
+}
+
+/// Converts simulated seconds into the integer-nanosecond resolution the
+/// overlap counters use. Rounding (not truncation) keeps the conversion
+/// stable against the ±1 ulp wobble of f64 cost arithmetic.
+fn to_nanos(seconds: f64) -> u64 {
+    (seconds * 1e9).round() as u64
 }
 
 impl Meter {
@@ -69,6 +84,17 @@ impl Meter {
         self.payload_copy_bytes += bytes;
     }
 
+    /// Records `seconds` of simulated time spent blocked in a collective.
+    pub fn record_comm_wait(&mut self, seconds: f64) {
+        self.comm_wait_nanos += to_nanos(seconds);
+    }
+
+    /// Records `seconds` of collective wait hidden under compute by a
+    /// split-phase `begin`/`complete` pair.
+    pub fn record_overlap_hidden(&mut self, seconds: f64) {
+        self.overlap_hidden_nanos += to_nanos(seconds);
+    }
+
     /// Merges another meter into this one (e.g. per-layer into per-step).
     pub fn merge(&mut self, other: &Meter) {
         self.flops += other.flops;
@@ -78,6 +104,8 @@ impl Meter {
         self.gemms_serial += other.gemms_serial;
         self.payload_copies += other.payload_copies;
         self.payload_copy_bytes += other.payload_copy_bytes;
+        self.comm_wait_nanos += other.comm_wait_nanos;
+        self.overlap_hidden_nanos += other.overlap_hidden_nanos;
     }
 
     /// Returns the current totals and resets the meter, for converting a
@@ -144,6 +172,32 @@ mod tests {
         b.record_payload_copy(8);
         a.merge(&b);
         assert_eq!((a.payload_copies, a.payload_copy_bytes), (3, 328));
+    }
+
+    #[test]
+    fn comm_wait_and_hidden_nanos_accumulate_and_merge() {
+        let mut a = Meter::new();
+        a.record_comm_wait(1.5e-6);
+        a.record_comm_wait(0.5e-6);
+        a.record_overlap_hidden(0.25e-6);
+        assert_eq!((a.comm_wait_nanos, a.overlap_hidden_nanos), (2000, 250));
+        // Wait counters are pure bookkeeping: no kernels, no flops, no
+        // allocation — they must never turn into compute time.
+        assert_eq!((a.kernels, a.bytes_allocated), (0, 0));
+        assert_eq!(a.flops, 0.0);
+        let mut b = Meter::new();
+        b.record_comm_wait(1e-9);
+        b.record_overlap_hidden(2e-9);
+        a.merge(&b);
+        assert_eq!((a.comm_wait_nanos, a.overlap_hidden_nanos), (2001, 252));
+    }
+
+    #[test]
+    fn nanos_conversion_rounds_instead_of_truncating() {
+        let mut m = Meter::new();
+        // 0.1 µs is not exactly representable; rounding keeps it at 100 ns.
+        m.record_comm_wait(1e-7);
+        assert_eq!(m.comm_wait_nanos, 100);
     }
 
     #[test]

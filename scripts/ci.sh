@@ -24,4 +24,10 @@ cargo run -q --release --offline -p tesseract-bench --bin gemm_sweep -- \
 echo "== collectives_sweep smoke (tiny sizes) =="
 cargo run -q --release --offline -p tesseract-bench --bin collectives_sweep -- \
     --sizes 64 --reps 2 --iters 4 --out target/BENCH_collectives.smoke.json
+
+# The bitwise-parity gate itself is crates/core/tests/overlap_parity.rs (runs
+# under `cargo test` above); the sweep additionally re-checks parity per size.
+echo "== overlap_sweep smoke (tiny sizes) =="
+cargo run -q --release --offline -p tesseract-bench --bin overlap_sweep -- \
+    --sizes 64 --out target/BENCH_overlap.smoke.json
 echo "ci.sh: OK"
