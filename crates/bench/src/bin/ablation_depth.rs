@@ -13,7 +13,7 @@ use tesseract_core::{GridShape, Module, TesseractGrid, TesseractTransformer, Tra
 use tesseract_tensor::ShadowTensor;
 
 fn run(shape: GridShape, cfg: TransformerConfig, params: CostParams) -> (f64, f64, f64) {
-    let cluster = Cluster { world: shape.size(), topology: Topology::meluxina(), params };
+    let cluster = Cluster::custom(shape.size(), Topology::meluxina(), params);
     let out = cluster.run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let mut model = TesseractTransformer::<ShadowTensor>::new(ctx, &grid, cfg, true, 0, 0);

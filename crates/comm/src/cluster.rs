@@ -4,6 +4,9 @@
 //! global communication statistics.
 
 use std::sync::Arc;
+use std::time::Duration;
+
+use tesseract_tensor::{trace, TraceEvent};
 
 use crate::cost::CostParams;
 use crate::ctx::{RankCtx, RankReport};
@@ -17,6 +20,15 @@ pub struct Cluster {
     pub world: usize,
     pub topology: Topology,
     pub params: CostParams,
+    /// Collect per-rank [`TraceEvent`] timelines during [`Cluster::run`].
+    /// Defaults to the `TESSERACT_TRACE` environment toggle; override with
+    /// [`Cluster::with_trace`].
+    pub trace: bool,
+    /// Rendezvous timeout override for this cluster's fabric (seconds).
+    /// `None` uses the process-wide default (`TESSERACT_RENDEZVOUS_TIMEOUT_SECS`
+    /// or 30 s). Tests that deliberately deadlock set this explicitly instead
+    /// of racing on `std::env::set_var`.
+    pub rendezvous_timeout_secs: Option<u64>,
 }
 
 /// Everything a run produces.
@@ -28,6 +40,9 @@ pub struct RunOutput<R> {
     pub reports: Vec<RankReport>,
     /// Global collective statistics.
     pub comm: CommStats,
+    /// Per-rank event timelines, indexed by rank. Empty vectors unless the
+    /// cluster ran with tracing enabled (see [`Cluster::with_trace`]).
+    pub traces: Vec<Vec<TraceEvent>>,
 }
 
 impl<R> RunOutput<R> {
@@ -51,7 +66,27 @@ impl<R> RunOutput<R> {
 impl Cluster {
     /// A cluster with the paper's testbed topology and cost constants.
     pub fn a100(world: usize) -> Self {
-        Self { world, topology: Topology::meluxina(), params: CostParams::a100_cluster() }
+        Self::custom(world, Topology::meluxina(), CostParams::a100_cluster())
+    }
+
+    /// A cluster with explicit topology and cost constants.
+    pub fn custom(world: usize, topology: Topology, params: CostParams) -> Self {
+        Self { world, topology, params, trace: trace::env_enabled(), rendezvous_timeout_secs: None }
+    }
+
+    /// Enables (or disables) per-rank event tracing for this cluster,
+    /// overriding the `TESSERACT_TRACE` environment toggle.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Sets an explicit rendezvous timeout for this cluster's fabric. Used
+    /// by failure-injection tests so a deliberate deadlock fails fast
+    /// without mutating process-global environment state.
+    pub fn with_rendezvous_timeout_secs(mut self, secs: u64) -> Self {
+        self.rendezvous_timeout_secs = Some(secs);
+        self
     }
 
     /// Runs `f` as one thread per rank and gathers results in rank order.
@@ -64,50 +99,65 @@ impl Cluster {
         F: Fn(&mut RankCtx) -> R + Send + Sync,
     {
         assert!(self.world > 0, "cluster needs at least one rank");
-        let fabric = Arc::new(Fabric::new());
+        let fabric = Arc::new(match self.rendezvous_timeout_secs {
+            Some(secs) => Fabric::with_timeout(Duration::from_secs(secs)),
+            None => Fabric::new(),
+        });
         let stats = Arc::new(StatsCollector::new());
         let f = &f;
 
-        let mut outcomes: Vec<Option<(R, RankReport)>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.world)
-                .map(|rank| {
-                    let fabric = Arc::clone(&fabric);
-                    let stats = Arc::clone(&stats);
-                    let params = self.params;
-                    let topology = self.topology;
-                    let world = self.world;
-                    scope.spawn(move || {
-                        let mut ctx = RankCtx::new(rank, world, params, topology, fabric, stats);
-                        let result = f(&mut ctx);
-                        (result, ctx.report())
+        let mut outcomes: Vec<Option<(R, RankReport, Vec<TraceEvent>)>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.world)
+                    .map(|rank| {
+                        let fabric = Arc::clone(&fabric);
+                        let stats = Arc::clone(&stats);
+                        let params = self.params;
+                        let topology = self.topology;
+                        let world = self.world;
+                        let traced = self.trace;
+                        scope.spawn(move || {
+                            if traced {
+                                trace::install(rank);
+                            }
+                            let mut ctx =
+                                RankCtx::new(rank, world, params, topology, fabric, stats);
+                            let result = f(&mut ctx);
+                            // Harvest after the report: `report` flushes the
+                            // meter, so the final compute event is captured.
+                            let report = ctx.report();
+                            let events = if traced { trace::take() } else { Vec::new() };
+                            (result, report, events)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .enumerate()
-                .map(|(rank, h)| match h.join() {
-                    Ok(pair) => Some(pair),
-                    Err(e) => {
-                        let msg = e
-                            .downcast_ref::<String>()
-                            .map(String::as_str)
-                            .or_else(|| e.downcast_ref::<&str>().copied())
-                            .unwrap_or("<non-string panic>");
-                        panic!("rank {rank} panicked: {msg}");
-                    }
-                })
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, h)| match h.join() {
+                        Ok(tuple) => Some(tuple),
+                        Err(e) => {
+                            let msg = e
+                                .downcast_ref::<String>()
+                                .map(String::as_str)
+                                .or_else(|| e.downcast_ref::<&str>().copied())
+                                .unwrap_or("<non-string panic>");
+                            panic!("rank {rank} panicked: {msg}");
+                        }
+                    })
+                    .collect()
+            });
 
         let mut results = Vec::with_capacity(self.world);
         let mut reports = Vec::with_capacity(self.world);
+        let mut traces = Vec::with_capacity(self.world);
         for outcome in outcomes.drain(..) {
-            let (r, rep) = outcome.expect("all ranks joined");
+            let (r, rep, events) = outcome.expect("all ranks joined");
             results.push(r);
             reports.push(rep);
+            traces.push(events);
         }
-        RunOutput { results, reports, comm: stats.snapshot() }
+        RunOutput { results, reports, comm: stats.snapshot(), traces }
     }
 }
 

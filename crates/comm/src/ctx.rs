@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use tesseract_tensor::Meter;
+use tesseract_tensor::{trace, Meter};
 
 use crate::cost::CostParams;
 use crate::fabric::Fabric;
@@ -89,6 +89,7 @@ impl RankCtx {
     /// Converts all pending metered compute into virtual time. Collectives
     /// call this automatically; call it manually before reading the clock.
     pub fn flush_compute(&mut self) {
+        let begin = self.clock;
         let m = self.meter.take();
         self.total_bytes_allocated += m.bytes_allocated;
         // Payload copies are accumulated but deliberately excluded from
@@ -106,16 +107,70 @@ impl RankCtx {
             self.total_flops += m.flops;
             self.total_kernels += m.kernels;
         }
+        if trace::is_active() {
+            // The flush is the authoritative trace unit for compute: the
+            // event carries the exact values just folded into the totals,
+            // in the same accumulation order, so trace sums reconcile with
+            // `RankReport` bitwise.
+            trace::on_flush(m.flops, m.kernels, m.bytes_allocated, begin, self.clock);
+        }
     }
 
     /// Advances the clock to `new_time` (a collective exit time), booking
     /// the difference as communication/wait time.
     pub(crate) fn advance_comm(&mut self, new_time: f64) {
         if new_time > self.clock {
-            self.meter.record_comm_wait(new_time - self.clock);
+            self.meter.charge_comm_wait(new_time - self.clock);
             self.comm_time += new_time - self.clock;
             self.clock = new_time;
         }
+    }
+
+    /// The virtual time the clock *will* read once pending compute is
+    /// flushed, without flushing (non-mutating — scope spans use this so
+    /// observing the timeline never perturbs flush batching).
+    pub fn vt_now(&self) -> f64 {
+        if self.meter.flops > 0.0 || self.meter.kernels > 0 {
+            self.clock + self.params.compute_time(self.meter.flops, self.meter.kernels)
+        } else {
+            self.clock
+        }
+    }
+
+    /// Lifetime blocked-wait nanos (folded totals plus the pending meter);
+    /// invariant under `flush_compute`, so comm spans can delta it.
+    pub(crate) fn lifetime_comm_wait_nanos(&self) -> u64 {
+        self.total_comm_wait_nanos + self.meter.comm_wait_nanos
+    }
+
+    /// Lifetime hidden-overlap nanos; invariant under `flush_compute`.
+    pub(crate) fn lifetime_overlap_hidden_nanos(&self) -> u64 {
+        self.total_overlap_hidden_nanos + self.meter.overlap_hidden_nanos
+    }
+
+    /// Runs `f` inside a named trace scope (`what.phase`, e.g.
+    /// `linear.fwd`) spanning its virtual-time window. When tracing is
+    /// disabled this is exactly `f(self)` — no strings are built, no clock
+    /// is touched.
+    pub fn traced<R>(
+        &mut self,
+        what: &str,
+        phase: &'static str,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        if !trace::is_active() {
+            return f(self);
+        }
+        let begin = self.vt_now();
+        let result = f(self);
+        let end = self.vt_now();
+        trace::record(
+            format!("{what}.{phase}"),
+            begin,
+            end,
+            tesseract_tensor::TraceKind::Scope { phase },
+        );
+        result
     }
 
     /// Creates a communication group containing this rank. See

@@ -85,6 +85,10 @@ struct FabricState {
 pub struct Fabric {
     state: Mutex<FabricState>,
     cond: Condvar,
+    /// Per-instance rendezvous timeout. Fixed at construction
+    /// ([`Fabric::with_timeout`]) so failure-injection tests can shrink it
+    /// without racing on the process environment.
+    timeout: Duration,
 }
 
 /// Locks the fabric ignoring poisoning: a rank that panics mid-rendezvous
@@ -102,8 +106,15 @@ impl Default for Fabric {
 }
 
 impl Fabric {
+    /// A fabric with the process-default timeout (120 s, or the cached
+    /// `TESSERACT_RENDEZVOUS_TIMEOUT_SECS` override).
     pub fn new() -> Self {
-        Self { state: Mutex::new(FabricState::default()), cond: Condvar::new() }
+        Self::with_timeout(rendezvous_timeout())
+    }
+
+    /// A fabric whose rendezvous waits give up after `timeout`.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Self { state: Mutex::new(FabricState::default()), cond: Condvar::new(), timeout }
     }
 
     /// Non-blocking half of [`Fabric::exchange`]: publishes this member's
@@ -171,10 +182,8 @@ impl Fabric {
                     return (max_vt, arc);
                 }
             }
-            let (guard, timed_out) = self
-                .cond
-                .wait_timeout(state, rendezvous_timeout())
-                .unwrap_or_else(PoisonError::into_inner);
+            let (guard, timed_out) =
+                self.cond.wait_timeout(state, self.timeout).unwrap_or_else(PoisonError::into_inner);
             state = guard;
             if timed_out.timed_out() {
                 panic!(
@@ -283,10 +292,8 @@ impl Fabric {
                     return (max_vt, arc);
                 }
             }
-            let (guard, timed_out) = self
-                .cond
-                .wait_timeout(state, rendezvous_timeout())
-                .unwrap_or_else(PoisonError::into_inner);
+            let (guard, timed_out) =
+                self.cond.wait_timeout(state, self.timeout).unwrap_or_else(PoisonError::into_inner);
             state = guard;
             if timed_out.timed_out() {
                 panic!(
@@ -337,10 +344,8 @@ impl Fabric {
                     return (vt, payload);
                 }
             }
-            let (guard, timed_out) = self
-                .cond
-                .wait_timeout(state, rendezvous_timeout())
-                .unwrap_or_else(PoisonError::into_inner);
+            let (guard, timed_out) =
+                self.cond.wait_timeout(state, self.timeout).unwrap_or_else(PoisonError::into_inner);
             state = guard;
             if timed_out.timed_out() {
                 panic!("recv on channel {chan:?} timed out; sender likely panicked");

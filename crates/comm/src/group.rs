@@ -58,10 +58,146 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use tesseract_tensor::TensorLike;
+use tesseract_tensor::{trace, TensorLike, TraceKind};
 
 use crate::cost::CollectiveOp;
 use crate::ctx::RankCtx;
+
+/// Per-collective trace observer. Opened at the public entry of every
+/// collective (or at `complete` for split-phase ones, with the deposit
+/// timestamp as its begin), it accumulates what the charging internals
+/// (`sync`/`recharge`/`finish_charge`) already compute — rendezvous key,
+/// slowest entry, α–β cost, stats contributions — plus *deltas* of the
+/// rank's lifetime wait/hidden counters, and emits one
+/// [`TraceKind::Comm`] span at [`CommScope::finish`]. When tracing is
+/// inactive every method is a no-op behind one bool; the observer never
+/// feeds back into any charge, so traced and untraced runs are bitwise
+/// identical.
+struct CommScope {
+    active: bool,
+    op: CollectiveOp,
+    /// Span start: entry clock (blocking) or deposit timestamp (split-phase).
+    begin: f64,
+    key: (u64, u64),
+    max_entry_vt: f64,
+    cost: f64,
+    wire_bytes: u64,
+    stats_time: f64,
+    recorded: bool,
+    hidden_time: f64,
+    /// Lifetime wait/hidden counters at open; the span's blocked/hidden
+    /// charges are the deltas at finish (both counters are invariant under
+    /// `flush_compute`, so interleaved flushes cannot contaminate them).
+    wait0: u64,
+    hidden0: u64,
+}
+
+impl CommScope {
+    fn open(ctx: &RankCtx, op: CollectiveOp) -> Self {
+        let active = trace::is_active();
+        Self {
+            active,
+            op,
+            begin: f64::NAN,
+            key: (0, 0),
+            max_entry_vt: 0.0,
+            cost: 0.0,
+            wire_bytes: 0,
+            stats_time: 0.0,
+            recorded: false,
+            hidden_time: 0.0,
+            wait0: if active { ctx.lifetime_comm_wait_nanos() } else { 0 },
+            hidden0: if active { ctx.lifetime_overlap_hidden_nanos() } else { 0 },
+        }
+    }
+
+    /// Opens a scope whose span starts at a known earlier instant (the
+    /// split-phase deposit timestamp).
+    fn open_at(ctx: &RankCtx, op: CollectiveOp, key: (u64, u64), begin: f64) -> Self {
+        let mut s = Self::open(ctx, op);
+        s.key = key;
+        s.begin = begin;
+        s
+    }
+
+    /// Notes one rendezvous: its key, this rank's entry clock and the
+    /// group-wide slowest entry.
+    fn note_sync(&mut self, key: (u64, u64), entry: f64, max_vt: f64) {
+        if !self.active {
+            return;
+        }
+        self.key = key;
+        if self.begin.is_nan() {
+            self.begin = entry;
+        }
+        self.max_entry_vt = max_vt;
+    }
+
+    /// Notes α–β cost charged on behalf of this collective (a deferred-size
+    /// op charges twice: zero-byte latency plus the recharge).
+    fn note_cost(&mut self, cost: f64) {
+        if self.active {
+            self.cost += cost;
+        }
+    }
+
+    /// Notes that this rank recorded the op into the global stats.
+    fn note_stats(&mut self, wire: u64, time: f64) {
+        if self.active {
+            self.recorded = true;
+            self.wire_bytes += wire;
+            self.stats_time += time;
+        }
+    }
+
+    /// Notes hidden-overlap seconds as handed to the stats collector.
+    fn note_hidden(&mut self, seconds: f64) {
+        if self.active {
+            self.hidden_time += seconds;
+        }
+    }
+
+    /// Emits the span, ending at the rank's current (charged) clock.
+    fn finish(self, ctx: &RankCtx) {
+        if !self.active {
+            return;
+        }
+        let end = ctx.clock();
+        let begin = if self.begin.is_nan() { end } else { self.begin };
+        trace::record(
+            self.op.name().to_string(),
+            begin,
+            end,
+            TraceKind::Comm {
+                op: self.op.name(),
+                key_group: self.key.0,
+                key_seq: self.key.1,
+                max_entry_vt: self.max_entry_vt,
+                cost: self.cost,
+                blocked_nanos: ctx.lifetime_comm_wait_nanos() - self.wait0,
+                hidden_nanos: ctx.lifetime_overlap_hidden_nanos() - self.hidden0,
+                hidden_time: self.hidden_time,
+                wire_bytes: self.wire_bytes,
+                stats_time: self.stats_time,
+                recorded: self.recorded,
+            },
+        );
+    }
+}
+
+/// FNV-1a over a point-to-point channel's `(src, dst, tag)` triple: the
+/// sequence half of the trace key shared by a send event and its matching
+/// recv event (the group id is the other half).
+fn chan_seq(src: usize, dst: usize, tag: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [src as u64, dst as u64, tag] {
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
 
 /// Data that can travel through collectives.
 pub trait Payload: Clone + Send + Sync + 'static {
@@ -209,18 +345,22 @@ impl CommGroup {
         op: CollectiveOp,
         bytes: Option<usize>,
         payload: Option<P>,
+        span: &mut CommScope,
     ) -> Arc<Vec<Option<P>>> {
         ctx.flush_compute();
         let key = (self.id, self.next_seq());
         let entry = ctx.clock();
         let (max_vt, deposits) =
             ctx.fabric().exchange(key, self.my_index, self.size(), payload, entry);
+        span.note_sync(key, entry, max_vt);
         let link = ctx.topology.worst_link(&self.ranks);
         let cost = ctx.params.collective_time(op, self.size(), bytes.unwrap_or(0), link);
+        span.note_cost(cost);
         ctx.advance_comm(max_vt + cost);
         if bytes.is_some() && self.my_index == 0 {
             let wire = ctx.params.wire_bytes(op, self.size(), bytes.unwrap_or(0));
             ctx.stats().record(op, wire, cost);
+            span.note_stats(wire, cost);
         }
         deposits
     }
@@ -229,7 +369,13 @@ impl CommGroup {
     /// value, folds them in ascending member order exactly once (on the
     /// last-arriving rank, in place — no deposit is cloned), and hands
     /// every member an `Arc` of the combined result.
-    fn sync_reduce<P: Payload>(&self, ctx: &mut RankCtx, op: CollectiveOp, payload: P) -> Arc<P> {
+    fn sync_reduce<P: Payload>(
+        &self,
+        ctx: &mut RankCtx,
+        op: CollectiveOp,
+        payload: P,
+        span: &mut CommScope,
+    ) -> Arc<P> {
         ctx.flush_compute();
         let bytes = payload.wire_size();
         let key = (self.id, self.next_seq());
@@ -242,12 +388,15 @@ impl CommGroup {
             entry,
             combine_parts_in_order,
         );
+        span.note_sync(key, entry, max_vt);
         let link = ctx.topology.worst_link(&self.ranks);
         let cost = ctx.params.collective_time(op, self.size(), bytes, link);
+        span.note_cost(cost);
         ctx.advance_comm(max_vt + cost);
         if self.my_index == 0 {
             let wire = ctx.params.wire_bytes(op, self.size(), bytes);
             ctx.stats().record(op, wire, cost);
+            span.note_stats(wire, cost);
         }
         combined
     }
@@ -259,8 +408,17 @@ impl CommGroup {
     /// one per member, all-gather `n` per member, reduce one at the root.
     fn clone_counted<P: Payload>(&self, ctx: &mut RankCtx, op: CollectiveOp, payload: &P) -> P {
         let bytes = payload.wire_size() as u64;
-        ctx.stats().record_copy(op, bytes);
-        ctx.meter.record_payload_copy(bytes);
+        ctx.stats().charge_copy(op, bytes);
+        ctx.meter.charge_payload_copy(bytes);
+        if trace::is_active() {
+            let vt = ctx.vt_now();
+            trace::record(
+                format!("copy:{}", op.name()),
+                vt,
+                vt,
+                TraceKind::Copy { op: op.name(), bytes },
+            );
+        }
         payload.clone()
     }
 
@@ -268,7 +426,9 @@ impl CommGroup {
     pub fn barrier(&self, ctx: &mut RankCtx) {
         // Barrier cost is bytes-independent, so it is charged in `sync`
         // directly (no deferred recharge needed).
-        let _ = self.sync::<()>(ctx, CollectiveOp::Barrier, Some(0), Some(()));
+        let mut span = CommScope::open(ctx, CollectiveOp::Barrier);
+        let _ = self.sync::<()>(ctx, CollectiveOp::Barrier, Some(0), Some(()), &mut span);
+        span.finish(ctx);
     }
 
     /// Zero-copy broadcast: the root (by member index) deposits an `Arc` of
@@ -290,10 +450,12 @@ impl CommGroup {
         // The root's payload size drives the cost; non-roots don't know it
         // yet, so the rendezvous charges the zero-byte latency and
         // `recharge` adds the size-dependent cost identically on every
-        // member once the size is known.
-        let deposits = self.sync(ctx, CollectiveOp::Broadcast, None, payload);
+        // member once the size is known. One trace span covers both halves.
+        let mut span = CommScope::open(ctx, CollectiveOp::Broadcast);
+        let deposits = self.sync(ctx, CollectiveOp::Broadcast, None, payload, &mut span);
         let value = Arc::clone(deposits[root].as_ref().expect("root deposited"));
-        self.recharge(ctx, CollectiveOp::Broadcast, value.wire_size());
+        self.recharge(ctx, CollectiveOp::Broadcast, value.wire_size(), &mut span);
+        span.finish(ctx);
         value
     }
 
@@ -308,13 +470,15 @@ impl CommGroup {
     /// Adds the cost of an op whose byte size was only known after the
     /// rendezvous. Keeps clocks identical across members because every
     /// member executes the same re-charge.
-    fn recharge(&self, ctx: &mut RankCtx, op: CollectiveOp, bytes: usize) {
+    fn recharge(&self, ctx: &mut RankCtx, op: CollectiveOp, bytes: usize, span: &mut CommScope) {
         let link = ctx.topology.worst_link(&self.ranks);
         let cost = ctx.params.collective_time(op, self.size(), bytes, link);
+        span.note_cost(cost);
         ctx.advance_comm(ctx.clock() + cost);
         if self.my_index == 0 {
             let wire = ctx.params.wire_bytes(op, self.size(), bytes);
             ctx.stats().record(op, wire, cost);
+            span.note_stats(wire, cost);
         }
     }
 
@@ -327,14 +491,18 @@ impl CommGroup {
         root: usize,
         payload: P,
     ) -> Option<Arc<P>> {
-        let combined = self.sync_reduce(ctx, CollectiveOp::Reduce, payload);
+        let mut span = CommScope::open(ctx, CollectiveOp::Reduce);
+        let combined = self.sync_reduce(ctx, CollectiveOp::Reduce, payload, &mut span);
+        span.finish(ctx);
         (self.my_index == root).then_some(combined)
     }
 
     /// Sum-reduction to `root`, returning an owned value. Compatibility
     /// wrapper over [`CommGroup::reduce_shared`]: one counted copy at root.
     pub fn reduce<P: Payload>(&self, ctx: &mut RankCtx, root: usize, payload: P) -> Option<P> {
-        let combined = self.sync_reduce(ctx, CollectiveOp::Reduce, payload);
+        let mut span = CommScope::open(ctx, CollectiveOp::Reduce);
+        let combined = self.sync_reduce(ctx, CollectiveOp::Reduce, payload, &mut span);
+        span.finish(ctx);
         (self.my_index == root).then(|| self.clone_counted(ctx, CollectiveOp::Reduce, &*combined))
     }
 
@@ -342,14 +510,19 @@ impl CommGroup {
     /// allocation: payloads are consumed by value, folded exactly once (in
     /// ascending member order), never cloned.
     pub fn all_reduce_shared<P: Payload>(&self, ctx: &mut RankCtx, payload: P) -> Arc<P> {
-        self.sync_reduce(ctx, CollectiveOp::AllReduce, payload)
+        let mut span = CommScope::open(ctx, CollectiveOp::AllReduce);
+        let combined = self.sync_reduce(ctx, CollectiveOp::AllReduce, payload, &mut span);
+        span.finish(ctx);
+        combined
     }
 
     /// Sum-reduction delivered to every member as an owned value.
     /// Compatibility wrapper over [`CommGroup::all_reduce_shared`]: one
     /// counted copy per member.
     pub fn all_reduce<P: Payload>(&self, ctx: &mut RankCtx, payload: P) -> P {
-        let combined = self.sync_reduce(ctx, CollectiveOp::AllReduce, payload);
+        let mut span = CommScope::open(ctx, CollectiveOp::AllReduce);
+        let combined = self.sync_reduce(ctx, CollectiveOp::AllReduce, payload, &mut span);
+        span.finish(ctx);
         self.clone_counted(ctx, CollectiveOp::AllReduce, &*combined)
     }
 
@@ -359,7 +532,10 @@ impl CommGroup {
     /// O(n²) clones).
     pub fn all_gather_shared<P: Payload>(&self, ctx: &mut RankCtx, payload: Arc<P>) -> Vec<Arc<P>> {
         let bytes = payload.wire_size();
-        let deposits = self.sync(ctx, CollectiveOp::AllGather, Some(bytes), Some(payload));
+        let mut span = CommScope::open(ctx, CollectiveOp::AllGather);
+        let deposits =
+            self.sync(ctx, CollectiveOp::AllGather, Some(bytes), Some(payload), &mut span);
+        span.finish(ctx);
         deposits.iter().map(|d| Arc::clone(d.as_ref().expect("all deposited"))).collect()
     }
 
@@ -375,7 +551,10 @@ impl CommGroup {
     /// copies, all at the root).
     pub fn gather<P: Payload>(&self, ctx: &mut RankCtx, root: usize, payload: P) -> Option<Vec<P>> {
         let bytes = payload.wire_size();
-        let deposits = self.sync(ctx, CollectiveOp::Gather, Some(bytes), Some(Arc::new(payload)));
+        let mut span = CommScope::open(ctx, CollectiveOp::Gather);
+        let deposits =
+            self.sync(ctx, CollectiveOp::Gather, Some(bytes), Some(Arc::new(payload)), &mut span);
+        span.finish(ctx);
         (self.my_index == root).then(|| {
             deposits
                 .iter()
@@ -402,10 +581,12 @@ impl CommGroup {
             self.my_index == root,
             "scatter: exactly the root must supply the parts"
         );
-        let deposits = self.sync(ctx, CollectiveOp::Scatter, None, parts.map(Arc::new));
+        let mut span = CommScope::open(ctx, CollectiveOp::Scatter);
+        let deposits = self.sync(ctx, CollectiveOp::Scatter, None, parts.map(Arc::new), &mut span);
         let all = deposits[root].as_ref().expect("root deposited");
         let mine = self.clone_counted(ctx, CollectiveOp::Scatter, &all[self.my_index]);
-        self.recharge(ctx, CollectiveOp::Scatter, mine.wire_size());
+        self.recharge(ctx, CollectiveOp::Scatter, mine.wire_size(), &mut span);
+        span.finish(ctx);
         mine
     }
 
@@ -416,7 +597,10 @@ impl CommGroup {
     pub fn shift<P: Payload>(&self, ctx: &mut RankCtx, offset: isize, payload: P) -> P {
         let n = self.size() as isize;
         let bytes = payload.wire_size();
-        let deposits = self.sync(ctx, CollectiveOp::Shift, Some(bytes), Some(Arc::new(payload)));
+        let mut span = CommScope::open(ctx, CollectiveOp::Shift);
+        let deposits =
+            self.sync(ctx, CollectiveOp::Shift, Some(bytes), Some(Arc::new(payload)), &mut span);
+        span.finish(ctx);
         let src = (self.my_index as isize - offset).rem_euclid(n) as usize;
         self.clone_counted(
             ctx,
@@ -496,21 +680,26 @@ impl CommGroup {
         bytes: usize,
         deposit_vt: f64,
         deferred_size: bool,
+        span: &mut CommScope,
     ) {
         let link = ctx.topology.worst_link(&self.ranks);
         let cost_b = ctx.params.collective_time(op, self.size(), bytes, link);
         let cost0 =
             if deferred_size { ctx.params.collective_time(op, self.size(), 0, link) } else { 0.0 };
+        span.note_sync(span.key, deposit_vt, max_vt);
+        span.note_cost(cost0 + cost_b);
         let target = max_vt + cost0 + cost_b;
         let hidden = (ctx.clock().min(target) - deposit_vt).max(0.0);
         if hidden > 0.0 {
-            ctx.meter.record_overlap_hidden(hidden);
-            ctx.stats().record_hidden(op, hidden);
+            ctx.meter.charge_overlap_hidden(hidden);
+            ctx.stats().charge_hidden(op, hidden);
+            span.note_hidden(hidden);
         }
         ctx.advance_comm(target);
         if self.my_index == 0 {
             let wire = ctx.params.wire_bytes(op, self.size(), bytes);
             ctx.stats().record(op, wire, cost_b);
+            span.note_stats(wire, cost_b);
         }
     }
 
@@ -541,6 +730,8 @@ impl CommGroup {
         let (seq, deposit_vt) = self.begin_sync(ctx, payload);
         self.pending(CollectiveOp::Broadcast, seq, move |ctx| {
             self.pop_outstanding(CollectiveOp::Broadcast, seq);
+            let mut span =
+                CommScope::open_at(ctx, CollectiveOp::Broadcast, (self.id, seq), deposit_vt);
             ctx.flush_compute();
             let (max_vt, deposits) =
                 ctx.fabric().wait::<Arc<P>>((self.id, seq), self.my_index, self.size());
@@ -552,7 +743,9 @@ impl CommGroup {
                 value.wire_size(),
                 deposit_vt,
                 true,
+                &mut span,
             );
+            span.finish(ctx);
             value
         })
     }
@@ -581,10 +774,21 @@ impl CommGroup {
         let (seq, deposit_vt, bytes) = self.begin_reduce(ctx, payload);
         self.pending(CollectiveOp::Reduce, seq, move |ctx| {
             self.pop_outstanding(CollectiveOp::Reduce, seq);
+            let mut span =
+                CommScope::open_at(ctx, CollectiveOp::Reduce, (self.id, seq), deposit_vt);
             ctx.flush_compute();
             let (max_vt, combined) =
                 ctx.fabric().wait_reduce::<P>((self.id, seq), self.my_index, self.size());
-            self.finish_charge(ctx, CollectiveOp::Reduce, max_vt, bytes, deposit_vt, false);
+            self.finish_charge(
+                ctx,
+                CollectiveOp::Reduce,
+                max_vt,
+                bytes,
+                deposit_vt,
+                false,
+                &mut span,
+            );
+            span.finish(ctx);
             (self.my_index == root).then_some(combined)
         })
     }
@@ -611,10 +815,21 @@ impl CommGroup {
         let (seq, deposit_vt, bytes) = self.begin_reduce(ctx, payload);
         self.pending(CollectiveOp::AllReduce, seq, move |ctx| {
             self.pop_outstanding(CollectiveOp::AllReduce, seq);
+            let mut span =
+                CommScope::open_at(ctx, CollectiveOp::AllReduce, (self.id, seq), deposit_vt);
             ctx.flush_compute();
             let (max_vt, combined) =
                 ctx.fabric().wait_reduce::<P>((self.id, seq), self.my_index, self.size());
-            self.finish_charge(ctx, CollectiveOp::AllReduce, max_vt, bytes, deposit_vt, false);
+            self.finish_charge(
+                ctx,
+                CollectiveOp::AllReduce,
+                max_vt,
+                bytes,
+                deposit_vt,
+                false,
+                &mut span,
+            );
+            span.finish(ctx);
             combined
         })
     }
@@ -640,10 +855,21 @@ impl CommGroup {
         let (seq, deposit_vt) = self.begin_sync(ctx, Some(payload));
         self.pending(CollectiveOp::AllGather, seq, move |ctx| {
             self.pop_outstanding(CollectiveOp::AllGather, seq);
+            let mut span =
+                CommScope::open_at(ctx, CollectiveOp::AllGather, (self.id, seq), deposit_vt);
             ctx.flush_compute();
             let (max_vt, deposits) =
                 ctx.fabric().wait::<Arc<P>>((self.id, seq), self.my_index, self.size());
-            self.finish_charge(ctx, CollectiveOp::AllGather, max_vt, bytes, deposit_vt, false);
+            self.finish_charge(
+                ctx,
+                CollectiveOp::AllGather,
+                max_vt,
+                bytes,
+                deposit_vt,
+                false,
+                &mut span,
+            );
+            span.finish(ctx);
             deposits.iter().map(|d| Arc::clone(d.as_ref().expect("all deposited"))).collect()
         })
     }
@@ -663,29 +889,42 @@ impl CommGroup {
     /// Point-to-point send to another member (by member index).
     pub fn send<P: Payload>(&self, ctx: &mut RankCtx, dst: usize, tag: u64, payload: P) {
         assert!(dst < self.size() && dst != self.my_index, "send: bad destination");
+        let mut span = CommScope::open(ctx, CollectiveOp::SendRecv);
         ctx.flush_compute();
         let bytes = payload.wire_size();
         let chan = (self.id, self.my_index, dst, tag);
-        ctx.fabric().send(chan, payload, ctx.clock());
+        let send_vt = ctx.clock();
+        ctx.fabric().send(chan, payload, send_vt);
+        span.note_sync((self.id, chan_seq(self.my_index, dst, tag)), send_vt, send_vt);
         let link = ctx.topology.link_between(self.ranks[self.my_index], self.ranks[dst]);
         let (alpha, _) = ctx.params.link_params(link);
+        span.note_cost(alpha);
         // The sender only pays injection latency; transfer time is charged
         // to the receiver (eager-send model).
         ctx.advance_comm(ctx.clock() + alpha);
         let wire = ctx.params.wire_bytes(CollectiveOp::SendRecv, 2, bytes);
         ctx.stats().record(CollectiveOp::SendRecv, wire, 0.0);
+        span.note_stats(wire, 0.0);
+        span.finish(ctx);
     }
 
     /// Point-to-point receive from another member (by member index).
     pub fn recv<P: Payload>(&self, ctx: &mut RankCtx, src: usize, tag: u64) -> P {
         assert!(src < self.size() && src != self.my_index, "recv: bad source");
+        let mut span = CommScope::open(ctx, CollectiveOp::SendRecv);
         ctx.flush_compute();
         let chan = (self.id, src, self.my_index, tag);
+        let entry = ctx.clock();
         let (send_vt, payload): (f64, P) = ctx.fabric().recv(chan);
+        // The recv's cross-rank dependency is the sender's injection time:
+        // note it as the "slowest entry" so the critical path hops there.
+        span.note_sync((self.id, chan_seq(src, self.my_index, tag)), entry, send_vt);
         let link = ctx.topology.link_between(self.ranks[src], self.ranks[self.my_index]);
         let cost = ctx.params.collective_time(CollectiveOp::SendRecv, 2, payload.wire_size(), link);
+        span.note_cost(cost);
         let ready = send_vt.max(ctx.clock());
         ctx.advance_comm(ready + cost);
+        span.finish(ctx);
         payload
     }
 }

@@ -53,23 +53,35 @@ impl StatsCollector {
         entry.time += time;
     }
 
-    /// Records one host-side payload copy of `bytes` bytes made on behalf
+    /// Charges one host-side payload copy of `bytes` bytes made on behalf
     /// of `op`. Called by every rank that clones (root deposits, receiver
     /// materializations in the owned compatibility wrappers), so the totals
     /// measure real memcpy traffic across the whole cluster.
-    pub fn record_copy(&self, op: CollectiveOp, bytes: u64) {
+    pub fn charge_copy(&self, op: CollectiveOp, bytes: u64) {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let entry = inner.entry(op).or_default();
         entry.copies += 1;
         entry.copy_bytes += bytes;
     }
 
-    /// Records `seconds` of `op` wait hidden under compute by one rank's
-    /// split-phase `begin`/`complete` pair. Like `record_copy`, called by
+    /// Charges `seconds` of `op` wait hidden under compute by one rank's
+    /// split-phase `begin`/`complete` pair. Like `charge_copy`, called by
     /// every rank that hides wait, so totals are cluster-wide.
-    pub fn record_hidden(&self, op: CollectiveOp, seconds: f64) {
+    pub fn charge_hidden(&self, op: CollectiveOp, seconds: f64) {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.entry(op).or_default().hidden_time += seconds;
+    }
+
+    /// Deprecated name for [`StatsCollector::charge_copy`].
+    #[deprecated(note = "use `charge_copy`")]
+    pub fn record_copy(&self, op: CollectiveOp, bytes: u64) {
+        self.charge_copy(op, bytes);
+    }
+
+    /// Deprecated name for [`StatsCollector::charge_hidden`].
+    #[deprecated(note = "use `charge_hidden`")]
+    pub fn record_hidden(&self, op: CollectiveOp, seconds: f64) {
+        self.charge_hidden(op, seconds);
     }
 
     /// Snapshot of all op totals.
@@ -165,9 +177,9 @@ mod tests {
     fn copies_are_tracked_separately_from_wire_traffic() {
         let c = StatsCollector::new();
         c.record(CollectiveOp::Broadcast, 100, 0.5);
-        c.record_copy(CollectiveOp::Broadcast, 64);
-        c.record_copy(CollectiveOp::Broadcast, 64);
-        c.record_copy(CollectiveOp::AllGather, 32);
+        c.charge_copy(CollectiveOp::Broadcast, 64);
+        c.charge_copy(CollectiveOp::Broadcast, 64);
+        c.charge_copy(CollectiveOp::AllGather, 32);
         let s = c.snapshot();
         assert_eq!(s.get(CollectiveOp::Broadcast).copies, 2);
         assert_eq!(s.get(CollectiveOp::Broadcast).copy_bytes, 128);
@@ -182,9 +194,9 @@ mod tests {
     fn hidden_time_accumulates_per_op() {
         let c = StatsCollector::new();
         c.record(CollectiveOp::Broadcast, 100, 0.5);
-        c.record_hidden(CollectiveOp::Broadcast, 0.125);
-        c.record_hidden(CollectiveOp::Broadcast, 0.25);
-        c.record_hidden(CollectiveOp::AllReduce, 0.5);
+        c.charge_hidden(CollectiveOp::Broadcast, 0.125);
+        c.charge_hidden(CollectiveOp::Broadcast, 0.25);
+        c.charge_hidden(CollectiveOp::AllReduce, 0.5);
         let s = c.snapshot();
         assert_eq!(s.get(CollectiveOp::Broadcast).hidden_time, 0.375);
         // Hidden time never inflates the logical call/time accounting.

@@ -4,17 +4,18 @@
 use tesseract_comm::Cluster;
 use tesseract_tensor::{DenseTensor, Matrix, TensorLike};
 
-/// Shrinks the rendezvous timeout so ranks that survive an injected
-/// failure give up in seconds instead of minutes.
-fn fail_fast() {
-    std::env::set_var("TESSERACT_RENDEZVOUS_TIMEOUT_SECS", "2");
+/// A cluster whose fabric gives up in seconds instead of minutes, so
+/// ranks that survive an injected failure fail fast. Set per cluster via
+/// the builder — mutating the process environment from parallel tests is
+/// a race.
+fn fail_fast(world: usize) -> Cluster {
+    Cluster::a100(world).with_rendezvous_timeout_secs(2)
 }
 
 #[test]
 #[should_panic(expected = "rank 1 panicked")]
 fn rank_panics_are_propagated_with_rank_id() {
-    fail_fast();
-    Cluster::a100(2).run(|ctx| {
+    fail_fast(2).run(|ctx| {
         if ctx.rank == 1 {
             panic!("deliberate failure");
         }
@@ -27,8 +28,7 @@ fn rank_panics_are_propagated_with_rank_id() {
 #[test]
 #[should_panic(expected = "not a member")]
 fn joining_a_group_you_are_not_in_panics() {
-    fail_fast();
-    Cluster::a100(2).run(|ctx| {
+    fail_fast(2).run(|ctx| {
         // Both ranks construct a group containing only rank 0.
         let _ = ctx.group("bad", vec![0]);
     });
@@ -37,8 +37,7 @@ fn joining_a_group_you_are_not_in_panics() {
 #[test]
 #[should_panic(expected = "exactly the root must supply the payload")]
 fn broadcast_without_root_payload_panics() {
-    fail_fast();
-    Cluster::a100(2).run(|ctx| {
+    fail_fast(2).run(|ctx| {
         let g = ctx.world_group();
         // Nobody provides the payload.
         let _: DenseTensor = g.broadcast(ctx, 0, None);
@@ -48,8 +47,7 @@ fn broadcast_without_root_payload_panics() {
 #[test]
 #[should_panic(expected = "scatter: need one part per member")]
 fn scatter_with_wrong_part_count_panics() {
-    fail_fast();
-    Cluster::a100(2).run(|ctx| {
+    fail_fast(2).run(|ctx| {
         let g = ctx.world_group();
         let parts = (ctx.rank == 0).then(|| vec![DenseTensor::from_matrix(Matrix::zeros(1, 1))]);
         // Only one part for two members.
@@ -60,8 +58,7 @@ fn scatter_with_wrong_part_count_panics() {
 #[test]
 #[should_panic(expected = "send: bad destination")]
 fn send_to_self_panics() {
-    fail_fast();
-    Cluster::a100(2).run(|ctx| {
+    fail_fast(2).run(|ctx| {
         let g = ctx.world_group();
         g.send(ctx, g.my_index(), 0, DenseTensor::from_matrix(Matrix::zeros(1, 1)));
     });
@@ -75,11 +72,10 @@ fn zero_rank_cluster_is_rejected() {
 
 #[test]
 fn reduce_payload_shape_mismatch_panics() {
-    fail_fast();
     // Shape disagreement between ranks inside a reduction is a bug; the
     // deterministic combiner must catch it.
     let result = std::panic::catch_unwind(|| {
-        Cluster::a100(2).run(|ctx| {
+        fail_fast(2).run(|ctx| {
             let g = ctx.world_group();
             let t = if ctx.rank == 0 {
                 DenseTensor::from_matrix(Matrix::zeros(2, 2))

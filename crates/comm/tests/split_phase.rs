@@ -7,10 +7,12 @@ use std::sync::Arc;
 use tesseract_comm::Cluster;
 use tesseract_tensor::{DenseTensor, Matrix, TensorLike, Xoshiro256StarStar};
 
-/// Shrinks the rendezvous timeout so misuse tests that wedge peers give up
-/// in seconds instead of minutes.
-fn fail_fast() {
-    std::env::set_var("TESSERACT_RENDEZVOUS_TIMEOUT_SECS", "2");
+/// A cluster whose fabric gives up in seconds instead of minutes, so
+/// misuse tests that wedge peers fail fast. Set per cluster via the
+/// builder — mutating the process environment from parallel tests is a
+/// race.
+fn fail_fast(world: usize) -> Cluster {
+    Cluster::a100(world).with_rendezvous_timeout_secs(2)
 }
 
 fn rank_payload(rank: usize) -> DenseTensor {
@@ -161,8 +163,7 @@ fn overlap_charges_only_the_non_overlapped_remainder() {
 #[should_panic(expected = "split-phase collective completed out of order: \
                            completing broadcast seq 1 but the oldest outstanding begin is seq 0")]
 fn out_of_order_complete_panics() {
-    fail_fast();
-    Cluster::a100(2).run(|ctx| {
+    fail_fast(2).run(|ctx| {
         let g = ctx.world_group();
         let first = g.broadcast_shared_begin(
             ctx,
@@ -184,8 +185,7 @@ fn out_of_order_complete_panics() {
 #[test]
 #[should_panic(expected = "split-phase broadcast (seq 0) dropped without complete()")]
 fn dropping_pending_without_complete_panics() {
-    fail_fast();
-    Cluster::a100(1).run(|ctx| {
+    fail_fast(1).run(|ctx| {
         let g = ctx.world_group();
         let pending = g.broadcast_shared_begin(
             ctx,

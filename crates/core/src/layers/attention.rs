@@ -74,6 +74,10 @@ impl<T: TensorLike + Payload> TesseractAttention<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractAttention<T> {
+    fn name(&self) -> &'static str {
+        "attention"
+    }
+
     /// Forward over the local activation block `[b/(dq)·s, h/q]`.
     fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let s = self.cfg.seq;

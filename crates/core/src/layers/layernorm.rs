@@ -33,6 +33,10 @@ impl<T: TensorLike + Payload> TesseractLayerNorm<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractLayerNorm<T> {
+    fn name(&self) -> &'static str {
+        "layernorm"
+    }
+
     /// Forward: `X̂ = (X − E[X]) / sqrt(Var[X] + ε)` with row-group
     /// all-reduced statistics.
     fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {

@@ -135,6 +135,10 @@ impl<T: TensorLike + Payload> TesseractLinear<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractLinear<T> {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
     /// Forward: `Y = X·W (+ bias broadcast down the column)`. Tapes `X`.
     fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let mut y = tesseract_matmul(grid, ctx, x, &self.w);

@@ -43,6 +43,10 @@ impl<T: TensorLike + Payload> TesseractMlp<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractMlp<T> {
+    fn name(&self) -> &'static str {
+        "mlp"
+    }
+
     fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let pre = self.fc1.forward(grid, ctx, x);
         let act = Arc::new(pre.gelu(&mut ctx.meter));

@@ -55,6 +55,10 @@ impl<T: TensorLike + Payload> TesseractTransformerLayer<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractTransformerLayer<T> {
+    fn name(&self) -> &'static str {
+        "transformer_layer"
+    }
+
     /// Forward over the local `[b/(dq)·s, h/q]` activation block.
     fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let a = self.ln1.forward(grid, ctx, x);
@@ -124,6 +128,10 @@ impl<T: TensorLike + Payload> TesseractTransformer<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractTransformer<T> {
+    fn name(&self) -> &'static str {
+        "transformer"
+    }
+
     fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         self.layers.forward(grid, ctx, x)
     }

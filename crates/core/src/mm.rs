@@ -83,7 +83,7 @@ where
     let a_t = pa.complete(ctx);
     let b_t = pb.complete(ctx);
     let mut next = (q > 1).then(|| begin_panels(grid, ctx, a_local, b_local, 1));
-    let mut c = a_t.matmul(&b_t, &mut ctx.meter);
+    let mut c = a_t.matmul(&b_t, &mut ctx.meter.scope("gemm"));
     for t in 1..q {
         let (pa, pb) = next.take().expect("prefetched by the previous step");
         let a_t = pa.complete(ctx);
@@ -91,8 +91,8 @@ where
         if t + 1 < q {
             next = Some(begin_panels(grid, ctx, a_local, b_local, t + 1));
         }
-        let partial = a_t.matmul(&b_t, &mut ctx.meter);
-        c.add_assign(&partial, &mut ctx.meter);
+        let partial = a_t.matmul(&b_t, &mut ctx.meter.scope("gemm"));
+        c.add_assign(&partial, &mut ctx.meter.scope("add"));
     }
     c
 }
@@ -113,12 +113,12 @@ where
     assert_eq!(a_local.cols(), b_local.rows(), "tesseract_matmul: inner block dims disagree");
     let a_t = grid.row.broadcast_shared(ctx, 0, (grid.j() == 0).then(|| Arc::clone(a_local)));
     let b_t = grid.col.broadcast_shared(ctx, 0, (grid.i() == 0).then(|| Arc::clone(b_local)));
-    let mut c = a_t.matmul(&b_t, &mut ctx.meter);
+    let mut c = a_t.matmul(&b_t, &mut ctx.meter.scope("gemm"));
     for t in 1..q {
         let a_t = grid.row.broadcast_shared(ctx, t, (grid.j() == t).then(|| Arc::clone(a_local)));
         let b_t = grid.col.broadcast_shared(ctx, t, (grid.i() == t).then(|| Arc::clone(b_local)));
-        let partial = a_t.matmul(&b_t, &mut ctx.meter);
-        c.add_assign(&partial, &mut ctx.meter);
+        let partial = a_t.matmul(&b_t, &mut ctx.meter.scope("gemm"));
+        c.add_assign(&partial, &mut ctx.meter.scope("add"));
     }
     c
 }
@@ -159,7 +159,7 @@ where
     let mut next_b = (q > 1).then(|| {
         grid.col.broadcast_shared_begin(ctx, 1, (grid.i() == 1).then(|| Arc::clone(b_local)))
     });
-    let partial = a_local.matmul_nt(&b_t, &mut ctx.meter);
+    let partial = a_local.matmul_nt(&b_t, &mut ctx.meter.scope("gemm"));
     let mut pending_red = grid.row.reduce_shared_begin(ctx, 0, partial);
     for t in 1..q {
         let pb = next_b.take().expect("prefetched by the previous step");
@@ -171,7 +171,7 @@ where
                 (grid.i() == t + 1).then(|| Arc::clone(b_local)),
             ));
         }
-        let partial = a_local.matmul_nt(&b_t, &mut ctx.meter);
+        let partial = a_local.matmul_nt(&b_t, &mut ctx.meter.scope("gemm"));
         if let Some(r) = pending_red.complete(ctx) {
             mine = Some(r);
         }
@@ -199,7 +199,7 @@ where
     let mut mine: Option<Arc<T>> = None;
     for t in 0..q {
         let b_t = grid.col.broadcast_shared(ctx, t, (grid.i() == t).then(|| Arc::clone(b_local)));
-        let partial = a_local.matmul_nt(&b_t, &mut ctx.meter);
+        let partial = a_local.matmul_nt(&b_t, &mut ctx.meter.scope("gemm"));
         let reduced = grid.row.reduce_shared(ctx, t, partial);
         if grid.j() == t {
             mine = Some(reduced.expect("root receives reduction"));
@@ -246,7 +246,7 @@ where
     let mut next_a = (q > 1).then(|| {
         grid.row.broadcast_shared_begin(ctx, 1, (grid.j() == 1).then(|| Arc::clone(a_local)))
     });
-    let partial = a_t.matmul_tn(b_local, &mut ctx.meter);
+    let partial = a_t.matmul_tn(b_local, &mut ctx.meter.scope("gemm"));
     let mut pending_red = grid.col.reduce_shared_begin(ctx, 0, partial);
     for t in 1..q {
         let pa = next_a.take().expect("prefetched by the previous step");
@@ -258,7 +258,7 @@ where
                 (grid.j() == t + 1).then(|| Arc::clone(a_local)),
             ));
         }
-        let partial = a_t.matmul_tn(b_local, &mut ctx.meter);
+        let partial = a_t.matmul_tn(b_local, &mut ctx.meter.scope("gemm"));
         let reduced = pending_red.complete(ctx);
         settle_reduced(grid, ctx, overlap_depth, reduced, &mut mine, &mut depth_pending);
         pending_red = grid.col.reduce_shared_begin(ctx, t, partial);
@@ -315,7 +315,7 @@ where
     let mut mine: Option<Arc<T>> = None;
     for t in 0..q {
         let a_t = grid.row.broadcast_shared(ctx, t, (grid.j() == t).then(|| Arc::clone(a_local)));
-        let partial = a_t.matmul_tn(b_local, &mut ctx.meter);
+        let partial = a_t.matmul_tn(b_local, &mut ctx.meter.scope("gemm"));
         let reduced = grid.col.reduce_shared(ctx, t, partial);
         if grid.i() == t {
             mine = Some(reduced.expect("root receives reduction"));

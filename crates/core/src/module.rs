@@ -38,6 +38,13 @@ pub struct ParamRef<'a, T> {
 /// visit parameters in a deterministic order so per-parameter collectives
 /// (data-parallel all-reduce, optimizer state) line up across ranks.
 pub trait Module<T: TensorLike + Payload, G = TesseractGrid> {
+    /// Short stable name used to label trace scopes (e.g. `linear`,
+    /// `layernorm`). Purely observational: tracing-disabled runs never
+    /// call it on a hot path.
+    fn name(&self) -> &'static str {
+        "module"
+    }
+
     /// Forward over this rank's local activation block. Implementations
     /// that need activations in `backward` push them onto a [`Tape`].
     ///
@@ -222,10 +229,14 @@ impl<T: TensorLike + Payload, G> Sequential<T, G> {
 }
 
 impl<T: TensorLike + Payload, G> Module<T, G> for Sequential<T, G> {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
     fn forward(&mut self, grid: &G, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let mut h = Arc::clone(x);
         for m in &mut self.mods {
-            h = m.forward(grid, ctx, &h);
+            h = ctx.traced(m.name(), "fwd", |ctx| m.forward(grid, ctx, &h));
         }
         h
     }
@@ -233,7 +244,7 @@ impl<T: TensorLike + Payload, G> Module<T, G> for Sequential<T, G> {
     fn backward(&mut self, grid: &G, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let mut g = Arc::clone(dy);
         for m in self.mods.iter_mut().rev() {
-            g = m.backward(grid, ctx, &g);
+            g = ctx.traced(m.name(), "bwd", |ctx| m.backward(grid, ctx, &g));
         }
         g
     }

@@ -154,7 +154,7 @@ where
     for m in 0..microbatches {
         let x: Arc<T> =
             if stage.is_first() { Arc::new(inputs(m)) } else { stage.recv_forward(ctx) };
-        let y = model.forward(grid, ctx, &x);
+        let y = ctx.traced("stage", "fwd", |ctx| model.forward(grid, ctx, &x));
         if stage.is_last() {
             outputs.push(y);
         } else {
@@ -167,7 +167,7 @@ where
         } else {
             stage.recv_backward(ctx)
         };
-        let dx = model.backward(grid, ctx, &dy);
+        let dx = ctx.traced("stage", "bwd", |ctx| model.backward(grid, ctx, &dy));
         if !stage.is_first() {
             stage.send_backward(ctx, dx);
         }

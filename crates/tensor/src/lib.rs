@@ -26,13 +26,15 @@ pub mod nn;
 pub mod pool;
 pub mod rng;
 pub mod tensor;
+pub mod trace;
 
 pub use matmul::KernelPath;
 pub use matrix::Matrix;
-pub use meter::Meter;
+pub use meter::{Meter, MeterScope};
 pub use pool::ThreadPool;
 pub use rng::Xoshiro256StarStar;
 pub use tensor::{DenseTensor, ShadowTensor, TensorLike};
+pub use trace::{TraceEvent, TraceKind};
 
 /// Size in bytes of one stored element. The cluster cost model multiplies
 /// message element counts by this to obtain wire bytes; keeping it here makes

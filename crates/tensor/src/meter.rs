@@ -75,24 +75,52 @@ impl Meter {
         }
     }
 
-    /// Records one deep copy of a collective payload of `bytes` bytes.
+    /// Opens a labeled RAII instrumentation scope over this meter. The
+    /// guard derefs to the meter, so any op that takes `&mut Meter` can be
+    /// charged through it unchanged; when the guard drops, `label` is
+    /// reported to the active tracer (if any) as a name hint for the next
+    /// compute flush. Charging arithmetic is untouched — a scoped call is
+    /// bitwise identical to an unscoped one.
+    pub fn scope(&mut self, label: &'static str) -> MeterScope<'_> {
+        MeterScope { meter: self, label }
+    }
+
+    /// Charges one deep copy of a collective payload of `bytes` bytes.
     /// Copies contribute to no simulated time — `compute_time` never sees
     /// them — they exist so the copy-elimination in the shared collectives
     /// is observable and regressions are testable.
-    pub fn record_payload_copy(&mut self, bytes: u64) {
+    pub fn charge_payload_copy(&mut self, bytes: u64) {
         self.payload_copies += 1;
         self.payload_copy_bytes += bytes;
     }
 
-    /// Records `seconds` of simulated time spent blocked in a collective.
-    pub fn record_comm_wait(&mut self, seconds: f64) {
+    /// Charges `seconds` of simulated time spent blocked in a collective.
+    pub fn charge_comm_wait(&mut self, seconds: f64) {
         self.comm_wait_nanos += to_nanos(seconds);
     }
 
-    /// Records `seconds` of collective wait hidden under compute by a
+    /// Charges `seconds` of collective wait hidden under compute by a
     /// split-phase `begin`/`complete` pair.
-    pub fn record_overlap_hidden(&mut self, seconds: f64) {
+    pub fn charge_overlap_hidden(&mut self, seconds: f64) {
         self.overlap_hidden_nanos += to_nanos(seconds);
+    }
+
+    /// Deprecated name for [`Meter::charge_payload_copy`].
+    #[deprecated(note = "use `charge_payload_copy` (or the `scope` API)")]
+    pub fn record_payload_copy(&mut self, bytes: u64) {
+        self.charge_payload_copy(bytes);
+    }
+
+    /// Deprecated name for [`Meter::charge_comm_wait`].
+    #[deprecated(note = "use `charge_comm_wait` (or the `scope` API)")]
+    pub fn record_comm_wait(&mut self, seconds: f64) {
+        self.charge_comm_wait(seconds);
+    }
+
+    /// Deprecated name for [`Meter::charge_overlap_hidden`].
+    #[deprecated(note = "use `charge_overlap_hidden` (or the `scope` API)")]
+    pub fn record_overlap_hidden(&mut self, seconds: f64) {
+        self.charge_overlap_hidden(seconds);
     }
 
     /// Merges another meter into this one (e.g. per-layer into per-step).
@@ -112,6 +140,43 @@ impl Meter {
     /// batch of ops into simulated time exactly once.
     pub fn take(&mut self) -> Meter {
         std::mem::take(self)
+    }
+}
+
+/// RAII guard from [`Meter::scope`]: the single front door of the
+/// instrumentation API. It times and counts exactly like the bare meter
+/// (via `Deref`/`DerefMut` — zero charging changes) and, on drop, emits
+/// its label to the per-rank tracer so the next compute-flush trace span
+/// is named after the ops it contains.
+pub struct MeterScope<'m> {
+    meter: &'m mut Meter,
+    label: &'static str,
+}
+
+impl MeterScope<'_> {
+    /// The label this scope reports to the tracer.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+}
+
+impl std::ops::Deref for MeterScope<'_> {
+    type Target = Meter;
+
+    fn deref(&self) -> &Meter {
+        self.meter
+    }
+}
+
+impl std::ops::DerefMut for MeterScope<'_> {
+    fn deref_mut(&mut self) -> &mut Meter {
+        self.meter
+    }
+}
+
+impl Drop for MeterScope<'_> {
+    fn drop(&mut self) {
+        crate::trace::on_scope_label(self.label);
     }
 }
 
@@ -161,15 +226,15 @@ mod tests {
     #[test]
     fn payload_copies_accumulate_and_merge() {
         let mut a = Meter::new();
-        a.record_payload_copy(256);
-        a.record_payload_copy(64);
+        a.charge_payload_copy(256);
+        a.charge_payload_copy(64);
         assert_eq!((a.payload_copies, a.payload_copy_bytes), (2, 320));
         // Copies launch no kernels and allocate no metered output bytes:
         // they must never leak into simulated time.
         assert_eq!((a.kernels, a.bytes_allocated), (0, 0));
         assert_eq!(a.flops, 0.0);
         let mut b = Meter::new();
-        b.record_payload_copy(8);
+        b.charge_payload_copy(8);
         a.merge(&b);
         assert_eq!((a.payload_copies, a.payload_copy_bytes), (3, 328));
     }
@@ -177,17 +242,17 @@ mod tests {
     #[test]
     fn comm_wait_and_hidden_nanos_accumulate_and_merge() {
         let mut a = Meter::new();
-        a.record_comm_wait(1.5e-6);
-        a.record_comm_wait(0.5e-6);
-        a.record_overlap_hidden(0.25e-6);
+        a.charge_comm_wait(1.5e-6);
+        a.charge_comm_wait(0.5e-6);
+        a.charge_overlap_hidden(0.25e-6);
         assert_eq!((a.comm_wait_nanos, a.overlap_hidden_nanos), (2000, 250));
         // Wait counters are pure bookkeeping: no kernels, no flops, no
         // allocation — they must never turn into compute time.
         assert_eq!((a.kernels, a.bytes_allocated), (0, 0));
         assert_eq!(a.flops, 0.0);
         let mut b = Meter::new();
-        b.record_comm_wait(1e-9);
-        b.record_overlap_hidden(2e-9);
+        b.charge_comm_wait(1e-9);
+        b.charge_overlap_hidden(2e-9);
         a.merge(&b);
         assert_eq!((a.comm_wait_nanos, a.overlap_hidden_nanos), (2001, 252));
     }
@@ -196,8 +261,49 @@ mod tests {
     fn nanos_conversion_rounds_instead_of_truncating() {
         let mut m = Meter::new();
         // 0.1 µs is not exactly representable; rounding keeps it at 100 ns.
-        m.record_comm_wait(1e-7);
+        m.charge_comm_wait(1e-7);
         assert_eq!(m.comm_wait_nanos, 100);
+    }
+
+    #[test]
+    fn deprecated_wrappers_charge_identically() {
+        let mut old = Meter::new();
+        #[allow(deprecated)]
+        {
+            old.record_payload_copy(64);
+            old.record_comm_wait(1e-6);
+            old.record_overlap_hidden(2e-6);
+        }
+        let mut new = Meter::new();
+        new.charge_payload_copy(64);
+        new.charge_comm_wait(1e-6);
+        new.charge_overlap_hidden(2e-6);
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn scope_charges_like_the_bare_meter_and_labels_the_tracer() {
+        let mut scoped = Meter::new();
+        {
+            let mut s = scoped.scope("gemm");
+            s.record(100.0, 64);
+            s.charge_payload_copy(8);
+            assert_eq!(s.label(), "gemm");
+        }
+        let mut bare = Meter::new();
+        bare.record(100.0, 64);
+        bare.charge_payload_copy(8);
+        assert_eq!(scoped, bare, "scope must be charging-transparent");
+        // With a tracer installed, the label names the next flush event.
+        crate::trace::install(0);
+        {
+            let mut s = scoped.scope("gemm");
+            s.record(1.0, 4);
+        }
+        crate::trace::on_flush(1.0, 1, 4, 0.0, 1.0);
+        let events = crate::trace::take();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "gemm");
     }
 
     #[test]

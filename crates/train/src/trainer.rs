@@ -140,10 +140,12 @@ pub fn train_tesseract(
                     grid.k(),
                 )));
                 let my_labels = &labels[h * per..(h + 1) * per];
-                let logits = model.forward(&grid, ctx, &x_loc);
+                let logits = ctx.traced("step", "fwd", |ctx| model.forward(&grid, ctx, &x_loc));
                 let (loss_local, dlogits, correct_local) =
                     distributed_cross_entropy(&grid, ctx, &logits, my_labels, b);
-                model.backward(&grid, ctx, &std::sync::Arc::new(dlogits));
+                ctx.traced("step", "bwd", |ctx| {
+                    model.backward(&grid, ctx, &std::sync::Arc::new(dlogits))
+                });
                 if let Some(max_norm) = s.clip_grad_norm {
                     crate::clip::clip_grad_norm(&grid, ctx, &mut model, max_norm);
                 }

@@ -77,6 +77,10 @@ impl<T: TensorLike + Payload> TesseractViT<T> {
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractViT<T> {
+    fn name(&self) -> &'static str {
+        "vit"
+    }
+
     /// `x_local`: A-type block of the `[b·s, patch_dim]` patch features.
     /// Returns this rank's `[b/(dq), classes/q]` logits block.
     fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x_local: &Arc<T>) -> Arc<T> {

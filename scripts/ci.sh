@@ -30,4 +30,23 @@ cargo run -q --release --offline -p tesseract-bench --bin collectives_sweep -- \
 echo "== overlap_sweep smoke (tiny sizes) =="
 cargo run -q --release --offline -p tesseract-bench --bin overlap_sweep -- \
     --sizes 64 --out target/BENCH_overlap.smoke.json
+
+# trace_dump reconciles the event trace against Meter/CommStats internally
+# (panics on mismatch) and re-parses its own Chrome JSON before writing.
+echo "== trace_dump smoke (tiny grid) =="
+cargo run -q --release --offline -p tesseract-bench --bin trace_dump -- \
+    --grid 2,2 --n 64 --out target/TRACE.smoke.json
+test -s target/TRACE.smoke.json || { echo "trace_dump wrote no JSON"; exit 1; }
+
+# Deprecated-counter gate: new code must use the `charge_*`/`scope` API;
+# the raw `record_*` counter bumps live on only as compat wrappers next to
+# their canonical definitions (and in the tests that pin wrapper parity).
+echo "== deprecated instrumentation gate =="
+if grep -rn "record_payload_copy\|record_comm_wait\|record_overlap_hidden\|record_copy(\|record_hidden(" \
+    --include='*.rs' crates/ src/ tests/ 2>/dev/null \
+    | grep -v "^crates/tensor/src/meter.rs:" \
+    | grep -v "^crates/comm/src/stats.rs:"; then
+    echo "ci.sh: deprecated record_* instrumentation outside compat wrappers"
+    exit 1
+fi
 echo "ci.sh: OK"

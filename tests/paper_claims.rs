@@ -45,7 +45,7 @@ fn memory_model_tesseract_wins() {
 }
 
 fn step_time(shape: GridShape, cfg: TransformerConfig, params: CostParams) -> f64 {
-    let cluster = Cluster { world: shape.size(), topology: Topology::meluxina(), params };
+    let cluster = Cluster::custom(shape.size(), Topology::meluxina(), params);
     cluster
         .run(|ctx| {
             let grid = TesseractGrid::new(ctx, shape, 0);
