@@ -1,27 +1,43 @@
-//! GEMM kernel sweep: seed-reference vs serial vs blocked vs blocked-parallel.
+//! GEMM kernel sweep: seed-reference vs serial vs blocked micro-kernels,
+//! plus a multi-core scaling curve.
 //!
-//! Times the `n×n×n` product for each requested size on four kernels:
+//! Times the `n×n×n` product for each requested size on five kernels:
 //!
 //! * `seed` — a verbatim copy of the pre-blocking kernel this repo shipped
 //!   with (ikj loop with the zero-skip branch), kept here as the fixed
 //!   baseline the speedup columns are measured against;
 //! * `serial` — the current serial kernel (zero-skip removed, vectorizable);
-//! * `blocked1` — the cache-blocked/packed kernel on a 1-thread pool,
-//!   isolating the blocking + packing win from parallelism;
-//! * `blocked` — the same kernel on the process-wide pool
-//!   (`TESSERACT_THREADS` threads).
+//! * `scalar1` — the cache-blocked/packed kernel forced onto the scalar
+//!   4×8 micro-kernel, 1-thread pool (the PR-5 state of the art, kept as
+//!   the SIMD baseline);
+//! * `blocked1` — the blocked kernel on the auto-detected micro-kernel
+//!   backend ([`tesseract_tensor::matmul::active_kernel`]: AVX2+FMA 6×16
+//!   where the host supports it), 1-thread pool — isolating the SIMD win;
+//! * `blocked` — the same kernel on the process-wide pool (the
+//!   `TESSERACT_THREADS`-configured size, recorded in the JSON).
 //!
-//! Reports median wall time over `--reps` runs, GFLOP/s, and speedups over
-//! the seed kernel, as a table on stdout and as JSON (`--out`, default
-//! `BENCH_kernels.json`).
+//! Then, per size, the active backend is swept over `--threads` (default
+//! `1,2,4,8`) on explicit pools, publishing GFLOP/s and parallel efficiency
+//! per thread count. Every swept thread count is checked **bitwise**
+//! against the 1-thread result of the same backend before its timing is
+//! accepted (the per-path parity contract); scalar-vs-SIMD agreement is
+//! checked within floating-point tolerance.
+//!
+//! Reports median wall time over `--reps` runs as a table on stdout and as
+//! JSON (`--out`, default `BENCH_kernels.json`). The JSON records which
+//! micro-kernel actually ran (`"kernel"`), whether it was forced via
+//! `TESSERACT_KERNEL` (`"kernel_forced"`), the configured pool size
+//! (`"pool_threads"`), and the host's hardware parallelism (`"host_cpus"`)
+//! so a curve measured on a core-limited container is interpretable.
 //!
 //! Run: `cargo run --release -p tesseract-bench --bin gemm_sweep -- \
-//!           [--sizes 256,512,1024] [--reps 5] [--out BENCH_kernels.json]`
+//!           [--sizes 256,512,1024] [--reps 5] [--threads 1,2,4,8] \
+//!           [--out BENCH_kernels.json]`
 
 use std::time::Instant;
 
-use tesseract_tensor::matmul::{matmul_blocked, matmul_serial};
-use tesseract_tensor::{pool, Matrix, ThreadPool, Xoshiro256StarStar};
+use tesseract_tensor::matmul::{active_kernel, matmul_blocked_with, matmul_serial, MicroKernel};
+use tesseract_tensor::{max_rel_diff, pool, Matrix, ThreadPool, Xoshiro256StarStar};
 
 /// The seed repo's `matmul`, copied verbatim (modulo `Matrix` accessors):
 /// ikj order with a zero-skip branch on `a_ik`. The branch defeats
@@ -63,21 +79,40 @@ fn median_ns(reps: usize, mut f: impl FnMut() -> Matrix) -> f64 {
     times[times.len() / 2]
 }
 
+/// One thread count of the scaling sweep.
+struct ScalePoint {
+    threads: usize,
+    ns: f64,
+}
+
 struct Row {
     n: usize,
     seed_ns: f64,
     serial_ns: f64,
+    scalar1_ns: f64,
     blocked1_ns: f64,
     blocked_ns: f64,
+    scaling: Vec<ScalePoint>,
 }
 
 fn gflops(n: usize, ns: f64) -> f64 {
     (2.0 * (n as f64).powi(3)) / ns
 }
 
+fn assert_bitwise(label: &str, reference: &Matrix, candidate: &Matrix) {
+    for (i, (r, c)) in reference.data().iter().zip(candidate.data()).enumerate() {
+        assert_eq!(
+            r.to_bits(),
+            c.to_bits(),
+            "{label}: per-path parity violated at flat index {i}: {r} vs {c}"
+        );
+    }
+}
+
 fn main() {
     let mut sizes: Vec<usize> = vec![256, 512, 1024];
     let mut reps = 5usize;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
     let mut out_path = String::from("BENCH_kernels.json");
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -93,19 +128,42 @@ fn main() {
                     .collect();
             }
             "--reps" => reps = value("--reps").parse().expect("--reps wants an integer"),
+            "--threads" => {
+                threads = value("--threads")
+                    .split(',')
+                    .map(|s| {
+                        let t: usize =
+                            s.trim().parse().expect("--threads wants comma-separated integers");
+                        assert!(t >= 1, "--threads wants positive thread counts");
+                        t
+                    })
+                    .collect();
+            }
             "--out" => out_path = value("--out"),
-            other => panic!("unknown argument {other:?} (known: --sizes --reps --out)"),
+            other => panic!("unknown argument {other:?} (known: --sizes --reps --threads --out)"),
         }
     }
 
+    let kernel = active_kernel();
+    let kernel_forced = matches!(
+        std::env::var("TESSERACT_KERNEL").as_deref().map(str::trim),
+        Ok("scalar") | Ok("avx2")
+    );
     let single = ThreadPool::new(1);
     let global = pool::global();
-    println!("gemm_sweep: sizes {sizes:?}, {reps} reps, pool of {} thread(s)\n", global.threads());
+    let host_cpus = pool::host_threads();
     println!(
-        "| n    | seed ns      | serial ns    | blocked1 ns  | blocked ns   | serial GF/s | blocked GF/s | serial x | blk1 x | blk x |"
+        "gemm_sweep: sizes {sizes:?}, {reps} reps, micro-kernel {}{}, pool of {} thread(s) \
+         (host has {host_cpus}), scaling over {threads:?}\n",
+        kernel.name(),
+        if kernel_forced { " (forced via TESSERACT_KERNEL)" } else { "" },
+        global.threads(),
     );
     println!(
-        "|------|--------------|--------------|--------------|--------------|-------------|--------------|----------|--------|-------|"
+        "| n    | seed ns      | serial ns    | scalar1 ns   | blocked1 ns  | blocked ns   | serial GF/s | blk1 GF/s | blk GF/s | simd x | blk1 x | blk x |"
+    );
+    println!(
+        "|------|--------------|--------------|--------------|--------------|--------------|-------------|-----------|----------|--------|--------|-------|"
     );
 
     let mut rows = Vec::new();
@@ -114,26 +172,67 @@ fn main() {
         let a = Matrix::random_uniform(n, n, -1.0, 1.0, &mut rng);
         let b = Matrix::random_uniform(n, n, -1.0, 1.0, &mut rng);
 
+        // Correctness gates before any timing: per-path bitwise parity at
+        // every swept thread count, and cross-path tolerance.
+        let reference = matmul_blocked_with(&a, &b, &single, kernel);
+        let scalar_ref = matmul_blocked_with(&a, &b, &single, MicroKernel::Scalar);
+        let cross = max_rel_diff(reference.data(), scalar_ref.data());
+        assert!(
+            cross < 1e-4,
+            "n={n}: {} vs scalar diverged beyond FMA tolerance ({cross:e})",
+            kernel.name()
+        );
+        let pools: Vec<ThreadPool> = threads.iter().map(|&t| ThreadPool::new(t)).collect();
+        for (t, p) in threads.iter().zip(&pools) {
+            let out = matmul_blocked_with(&a, &b, p, kernel);
+            assert_bitwise(&format!("n={n} {} threads={t}", kernel.name()), &reference, &out);
+        }
+
+        let scaling: Vec<ScalePoint> = threads
+            .iter()
+            .zip(&pools)
+            .map(|(&t, p)| ScalePoint {
+                threads: t,
+                ns: median_ns(reps, || matmul_blocked_with(&a, &b, p, kernel)),
+            })
+            .collect();
         let row = Row {
             n,
             seed_ns: median_ns(reps, || matmul_seed(&a, &b)),
             serial_ns: median_ns(reps, || matmul_serial(&a, &b)),
-            blocked1_ns: median_ns(reps, || matmul_blocked(&a, &b, &single)),
-            blocked_ns: median_ns(reps, || matmul_blocked(&a, &b, global)),
+            scalar1_ns: median_ns(reps, || {
+                matmul_blocked_with(&a, &b, &single, MicroKernel::Scalar)
+            }),
+            blocked1_ns: median_ns(reps, || matmul_blocked_with(&a, &b, &single, kernel)),
+            blocked_ns: median_ns(reps, || matmul_blocked_with(&a, &b, global, kernel)),
+            scaling,
         };
         println!(
-            "| {:<4} | {:>12.0} | {:>12.0} | {:>12.0} | {:>12.0} | {:>11.3} | {:>12.3} | {:>8.2} | {:>6.2} | {:>5.2} |",
+            "| {:<4} | {:>12.0} | {:>12.0} | {:>12.0} | {:>12.0} | {:>12.0} | {:>11.3} | {:>9.3} | {:>8.3} | {:>6.2} | {:>6.2} | {:>5.2} |",
             row.n,
             row.seed_ns,
             row.serial_ns,
+            row.scalar1_ns,
             row.blocked1_ns,
             row.blocked_ns,
             gflops(n, row.serial_ns),
+            gflops(n, row.blocked1_ns),
             gflops(n, row.blocked_ns),
-            row.seed_ns / row.serial_ns,
+            row.scalar1_ns / row.blocked1_ns,
             row.seed_ns / row.blocked1_ns,
             row.seed_ns / row.blocked_ns,
         );
+        for p in &row.scaling {
+            let speedup = row.scaling[0].ns / p.ns;
+            println!(
+                "|      scaling: {:>2} thread(s) {:>12.0} ns  {:>8.3} GF/s  speedup {:>5.2}  efficiency {:>4.2} |",
+                p.threads,
+                p.ns,
+                gflops(n, p.ns),
+                speedup,
+                speedup / p.threads as f64,
+            );
+        }
         rows.push(row);
     }
 
@@ -141,27 +240,53 @@ fn main() {
     json.push_str("  \"bench\": \"gemm_sweep\",\n");
     json.push_str("  \"units\": { \"time\": \"ns (median)\", \"rate\": \"GFLOP/s\" },\n");
     json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"kernel\": \"{}\",\n", kernel.name()));
+    json.push_str(&format!("  \"kernel_forced\": {kernel_forced},\n"));
     json.push_str(&format!("  \"pool_threads\": {},\n", global.threads()));
-    json.push_str("  \"kernels\": [\"seed\", \"serial\", \"blocked1\", \"blocked\"],\n");
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    json.push_str(&format!(
+        "  \"threads_swept\": [{}],\n",
+        threads.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str("  \"parity\": \"bitwise per kernel path at every swept thread count\",\n");
+    json.push_str(
+        "  \"kernels\": [\"seed\", \"serial\", \"scalar1\", \"blocked1\", \"blocked\"],\n",
+    );
     json.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{ \"n\": {}, \"seed_ns\": {:.0}, \"serial_ns\": {:.0}, \"blocked1_ns\": {:.0}, \"blocked_ns\": {:.0}, \
-\"serial_gflops\": {:.3}, \"blocked1_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \
-\"speedup_serial\": {:.3}, \"speedup_blocked1\": {:.3}, \"speedup_blocked\": {:.3} }}{}\n",
+            "    {{ \"n\": {}, \"seed_ns\": {:.0}, \"serial_ns\": {:.0}, \"scalar1_ns\": {:.0}, \"blocked1_ns\": {:.0}, \"blocked_ns\": {:.0}, \
+\"serial_gflops\": {:.3}, \"scalar1_gflops\": {:.3}, \"blocked1_gflops\": {:.3}, \"blocked_gflops\": {:.3}, \
+\"speedup_serial\": {:.3}, \"speedup_blocked1\": {:.3}, \"speedup_blocked\": {:.3}, \"simd_speedup\": {:.3},\n",
             r.n,
             r.seed_ns,
             r.serial_ns,
+            r.scalar1_ns,
             r.blocked1_ns,
             r.blocked_ns,
             gflops(r.n, r.serial_ns),
+            gflops(r.n, r.scalar1_ns),
             gflops(r.n, r.blocked1_ns),
             gflops(r.n, r.blocked_ns),
             r.seed_ns / r.serial_ns,
             r.seed_ns / r.blocked1_ns,
             r.seed_ns / r.blocked_ns,
-            if i + 1 == rows.len() { "" } else { "," }
+            r.scalar1_ns / r.blocked1_ns,
         ));
+        json.push_str("      \"scaling\": [\n");
+        for (j, p) in r.scaling.iter().enumerate() {
+            let speedup = r.scaling[0].ns / p.ns;
+            json.push_str(&format!(
+                "        {{ \"threads\": {}, \"ns\": {:.0}, \"gflops\": {:.3}, \"speedup\": {:.3}, \"efficiency\": {:.3} }}{}\n",
+                p.threads,
+                p.ns,
+                gflops(r.n, p.ns),
+                speedup,
+                speedup / p.threads as f64,
+                if j + 1 == r.scaling.len() { "" } else { "," }
+            ));
+        }
+        json.push_str(&format!("      ] }}{}\n", if i + 1 == rows.len() { "" } else { "," }));
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));

@@ -34,6 +34,10 @@ pub struct RankCtx {
     comm_time: f64,
     total_flops: f64,
     total_kernels: u64,
+    total_gemms_blocked: u64,
+    total_gemms_serial: u64,
+    total_gemms_kernel_scalar: u64,
+    total_gemms_kernel_avx2: u64,
     total_bytes_allocated: u64,
     total_payload_copies: u64,
     total_payload_copy_bytes: u64,
@@ -63,6 +67,10 @@ impl RankCtx {
             comm_time: 0.0,
             total_flops: 0.0,
             total_kernels: 0,
+            total_gemms_blocked: 0,
+            total_gemms_serial: 0,
+            total_gemms_kernel_scalar: 0,
+            total_gemms_kernel_avx2: 0,
             total_bytes_allocated: 0,
             total_payload_copies: 0,
             total_payload_copy_bytes: 0,
@@ -92,6 +100,12 @@ impl RankCtx {
         let begin = self.clock;
         let m = self.meter.take();
         self.total_bytes_allocated += m.bytes_allocated;
+        // GEMM dispatch audit counters: which `planned_path` variant ran,
+        // and — for blocked dispatches — which micro-kernel backend.
+        self.total_gemms_blocked += m.gemms_blocked;
+        self.total_gemms_serial += m.gemms_serial;
+        self.total_gemms_kernel_scalar += m.gemms_kernel_scalar;
+        self.total_gemms_kernel_avx2 += m.gemms_kernel_avx2;
         // Payload copies are accumulated but deliberately excluded from
         // `compute_time`: they are host memcpys outside the α–β model.
         self.total_payload_copies += m.payload_copies;
@@ -194,6 +208,10 @@ impl RankCtx {
             comm_time: self.comm_time,
             flops: self.total_flops,
             kernels: self.total_kernels,
+            gemms_blocked: self.total_gemms_blocked,
+            gemms_serial: self.total_gemms_serial,
+            gemms_kernel_scalar: self.total_gemms_kernel_scalar,
+            gemms_kernel_avx2: self.total_gemms_kernel_avx2,
             bytes_allocated: self.total_bytes_allocated,
             payload_copies: self.total_payload_copies,
             payload_copy_bytes: self.total_payload_copy_bytes,
@@ -217,6 +235,17 @@ pub struct RankReport {
     pub flops: f64,
     /// Total kernel launches this rank performed.
     pub kernels: u64,
+    /// GEMM launches `matmul::planned_path` dispatched to the blocked
+    /// kernel on this rank.
+    pub gemms_blocked: u64,
+    /// GEMM launches that fell back to the serial triple loop.
+    pub gemms_serial: u64,
+    /// Blocked dispatches that ran the scalar micro-kernel backend
+    /// (`gemms_kernel_scalar + gemms_kernel_avx2 == gemms_blocked`).
+    pub gemms_kernel_scalar: u64,
+    /// Blocked dispatches that ran the AVX2+FMA micro-kernel backend —
+    /// the audit trail for which kernel actually executed this run.
+    pub gemms_kernel_avx2: u64,
     /// Total bytes of op outputs this rank materialized (an
     /// activation-traffic proxy; weights are counted once at construction
     /// via the concat in layer constructors).

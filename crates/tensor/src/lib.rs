@@ -28,7 +28,7 @@ pub mod rng;
 pub mod tensor;
 pub mod trace;
 
-pub use matmul::KernelPath;
+pub use matmul::{KernelPath, MicroKernel};
 pub use matrix::Matrix;
 pub use meter::{Meter, MeterScope};
 pub use pool::ThreadPool;

@@ -14,13 +14,35 @@
 //!   micro-kernel accumulates an `MR×NR` block of C, and row-blocks of C are
 //!   distributed over the in-tree [`pool::ThreadPool`].
 //!
-//! **Determinism contract** (DESIGN.md §5): every element of C is computed
-//! by exactly one task as `((0 + a_i0·b_0j) + a_i1·b_1j) + …` in strictly
-//! ascending k order, in both implementations — blocking tiles k but visits
-//! tiles in order, packing copies values bit-exactly, and vectorization only
-//! spans independent elements, never one element's reduction chain. The two
-//! paths therefore produce **bitwise-identical** output at any thread count,
-//! so the dispatcher and pool size can never change a result.
+//! The blocked path is itself **runtime-dispatched** over a family of
+//! [`MicroKernel`] backends sharing one packing implementation (packing is
+//! parameterized by the backend's `MR`/`NR`):
+//!
+//! * [`MicroKernel::Scalar`] — `MR×NR = 4×8`, plain mul+add, the portable
+//!   reference on every architecture;
+//! * [`MicroKernel::Avx2`] — `MR×NR = 6×16`, `_mm256` FMA intrinsics behind
+//!   `#[target_feature(enable = "avx2,fma")]`, selected only when
+//!   `is_x86_feature_detected!` proves the host supports it.
+//!
+//! The backend is resolved **once per process** ([`active_kernel`], a
+//! `OnceLock`): auto-detection by default, or forced with
+//! `TESSERACT_KERNEL=scalar|avx2` for testing and benchmarking. Dispatch
+//! therefore costs nothing in the hot loop.
+//!
+//! **Determinism contract** (DESIGN.md §5), now **per kernel path**: within
+//! a fixed backend, every element of C is computed by exactly one task as
+//! `((c + a_i0·b_0j) + a_i1·b_1j) + …` in strictly ascending k order —
+//! blocking tiles k but visits tiles in order, packing copies values
+//! bit-exactly, which micro-tile (full or edge) computes an element depends
+//! only on the shape and the backend's tile constants, never on thread
+//! count. A fixed backend therefore produces **bitwise-identical** output
+//! at any thread count, so the pool size can never change a result. The
+//! scalar backend is additionally bitwise-identical to the `*_serial`
+//! triple loops. *Across* backends results agree only within floating-point
+//! tolerance: AVX2 uses fused multiply-add (one rounding per `a·b + c`
+//! instead of two), so its k-chains round differently than scalar mul+add.
+
+use std::sync::OnceLock;
 
 use crate::matrix::Matrix;
 use crate::pool::{self, ThreadPool};
@@ -29,17 +51,24 @@ use crate::pool::{self, ThreadPool};
 /// `BLOCK_K`: 64·256 f32 = 64 KiB).
 pub const BLOCK_M: usize = 64;
 /// Depth (k) tile; one packed B micro-panel stream is `BLOCK_K·NR` f32
-/// = 8 KiB, resident in L1 across a whole row of micro-tiles.
+/// (8 KiB scalar, 16 KiB AVX2), resident in L1 across a whole row of
+/// micro-tiles.
 pub const BLOCK_K: usize = 256;
 /// Column (n) tile; the packed B block `BLOCK_K·BLOCK_N` f32 = 256 KiB
 /// stays L2-resident while a task sweeps its row panel.
 pub const BLOCK_N: usize = 256;
 
-/// Micro-tile rows: C accumulators held in registers are `MR×NR` f32
-/// (4×8 = 8 SSE vectors, the x86-64 baseline budget).
-const MR: usize = 4;
-/// Micro-tile columns (two 4-lane f32 vectors per accumulator row).
-const NR: usize = 8;
+/// Scalar micro-tile rows: C accumulators held in registers are `MR×NR`
+/// f32 (4×8 = 8 SSE vectors, the x86-64 baseline budget).
+const SCALAR_MR: usize = 4;
+/// Scalar micro-tile columns (two 4-lane f32 vectors per accumulator row).
+const SCALAR_NR: usize = 8;
+
+/// AVX2 micro-tile rows: 6×16 f32 = 12 ymm accumulators, leaving registers
+/// for two B loads and the A broadcast (the BLIS Haswell shape).
+const AVX2_MR: usize = 6;
+/// AVX2 micro-tile columns (two 8-lane ymm vectors per accumulator row).
+const AVX2_NR: usize = 16;
 
 /// `m·k·n` below which the serial kernel is dispatched (≈ one 64³ GEMM);
 /// under this size the pack/tile bookkeeping costs more than it saves.
@@ -56,13 +85,109 @@ pub enum KernelPath {
     BlockedParallel,
 }
 
+/// Register micro-kernel backend of the blocked path. Resolved once per
+/// process by [`active_kernel`]; tests and benches can force one per call
+/// via [`matmul_blocked_with`] and friends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MicroKernel {
+    /// Portable `4×8` mul+add tile — bitwise-identical to the `*_serial`
+    /// triple loops, available on every architecture.
+    Scalar,
+    /// `6×16` AVX2+FMA tile (`_mm256_fmadd_ps`); requires runtime-detected
+    /// `avx2` and `fma` CPU features.
+    Avx2,
+}
+
+impl MicroKernel {
+    /// Micro-tile rows of this backend.
+    pub const fn mr(self) -> usize {
+        match self {
+            MicroKernel::Scalar => SCALAR_MR,
+            MicroKernel::Avx2 => AVX2_MR,
+        }
+    }
+
+    /// Micro-tile columns of this backend.
+    pub const fn nr(self) -> usize {
+        match self {
+            MicroKernel::Scalar => SCALAR_NR,
+            MicroKernel::Avx2 => AVX2_NR,
+        }
+    }
+
+    /// Stable lowercase name used by `TESSERACT_KERNEL`, bench JSON, and
+    /// log lines.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MicroKernel::Scalar => "scalar",
+            MicroKernel::Avx2 => "avx2",
+        }
+    }
+
+    /// Whether the running host can execute this backend.
+    pub fn supported(self) -> bool {
+        match self {
+            MicroKernel::Scalar => true,
+            MicroKernel::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                {
+                    is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    false
+                }
+            }
+        }
+    }
+}
+
+static ACTIVE_KERNEL: OnceLock<MicroKernel> = OnceLock::new();
+
+/// The backend every host-feature-supported blocked GEMM runs on, resolved
+/// exactly once per process: the `TESSERACT_KERNEL` env var if set
+/// (`scalar` | `avx2` | `auto`; forcing an unsupported backend or setting
+/// an unknown value panics — a forced path must never silently degrade),
+/// else the widest backend the CPU supports.
+pub fn active_kernel() -> MicroKernel {
+    *ACTIVE_KERNEL.get_or_init(|| match std::env::var("TESSERACT_KERNEL") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "scalar" => MicroKernel::Scalar,
+            "avx2" => {
+                assert!(
+                    MicroKernel::Avx2.supported(),
+                    "TESSERACT_KERNEL=avx2 forced, but this host has no AVX2+FMA"
+                );
+                MicroKernel::Avx2
+            }
+            "" | "auto" => detect_kernel(),
+            other => panic!("invalid TESSERACT_KERNEL={other:?} (want scalar|avx2|auto)"),
+        },
+        Err(_) => detect_kernel(),
+    })
+}
+
+/// Widest supported backend, in preference order.
+fn detect_kernel() -> MicroKernel {
+    if MicroKernel::Avx2.supported() {
+        MicroKernel::Avx2
+    } else {
+        MicroKernel::Scalar
+    }
+}
+
 /// Deterministic dispatch decision for a `[m,k]·[k,n]` product. Depends only
-/// on the shape — never on thread count or data — so dense and shadow
-/// backends agree and runs are reproducible. Degenerate outputs (fewer rows
-/// or columns than one micro-tile) stay serial: most of each register tile
-/// would be padding.
+/// on the shape — never on thread count, data, or the active micro-kernel
+/// backend (the thresholds are the *scalar* tile so metered dispatch counts
+/// are identical on every host) — so dense and shadow backends agree and
+/// runs are reproducible. Degenerate outputs (fewer rows or columns than
+/// one scalar micro-tile) stay serial: most of each register tile would be
+/// padding.
 pub fn planned_path(m: usize, k: usize, n: usize) -> KernelPath {
-    if m >= MR && n >= NR && m.saturating_mul(k).saturating_mul(n) >= BLOCKED_MIN_ELEMS {
+    if m >= SCALAR_MR
+        && n >= SCALAR_NR
+        && m.saturating_mul(k).saturating_mul(n) >= BLOCKED_MIN_ELEMS
+    {
         KernelPath::BlockedParallel
     } else {
         KernelPath::Serial
@@ -184,23 +309,56 @@ enum Orient {
     Tn,
 }
 
-/// Blocked-parallel `C = A · B` on an explicit pool (exposed so tests and
-/// benches can pin thread counts; production call sites use [`matmul`]).
+/// Blocked-parallel `C = A · B` on an explicit pool, on the process-wide
+/// [`active_kernel`] (exposed so tests and benches can pin thread counts;
+/// production call sites use [`matmul`]).
 pub fn matmul_blocked(a: &Matrix, b: &Matrix, pool: &ThreadPool) -> Matrix {
-    assert_eq!(a.cols(), b.rows(), "matmul: inner dims {} vs {}", a.cols(), b.rows());
-    gemm_blocked(Orient::Nn, a, b, a.rows(), a.cols(), b.cols(), pool)
+    matmul_blocked_with(a, b, pool, active_kernel())
 }
 
 /// Blocked-parallel `C = A · Bᵀ` on an explicit pool.
 pub fn matmul_nt_blocked(a: &Matrix, b: &Matrix, pool: &ThreadPool) -> Matrix {
-    assert_eq!(a.cols(), b.cols(), "matmul_nt: inner dims {} vs {}", a.cols(), b.cols());
-    gemm_blocked(Orient::Nt, a, b, a.rows(), a.cols(), b.rows(), pool)
+    matmul_nt_blocked_with(a, b, pool, active_kernel())
 }
 
 /// Blocked-parallel `C = Aᵀ · B` on an explicit pool.
 pub fn matmul_tn_blocked(a: &Matrix, b: &Matrix, pool: &ThreadPool) -> Matrix {
+    matmul_tn_blocked_with(a, b, pool, active_kernel())
+}
+
+/// [`matmul_blocked`] with an explicitly forced micro-kernel backend.
+/// Panics if `kernel` is unsupported on this host. This is the race-free
+/// way for tests to pin a path (no env mutation).
+pub fn matmul_blocked_with(
+    a: &Matrix,
+    b: &Matrix,
+    pool: &ThreadPool,
+    kernel: MicroKernel,
+) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul: inner dims {} vs {}", a.cols(), b.rows());
+    gemm_blocked(kernel, Orient::Nn, a, b, a.rows(), a.cols(), b.cols(), pool)
+}
+
+/// [`matmul_nt_blocked`] with an explicitly forced micro-kernel backend.
+pub fn matmul_nt_blocked_with(
+    a: &Matrix,
+    b: &Matrix,
+    pool: &ThreadPool,
+    kernel: MicroKernel,
+) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt: inner dims {} vs {}", a.cols(), b.cols());
+    gemm_blocked(kernel, Orient::Nt, a, b, a.rows(), a.cols(), b.rows(), pool)
+}
+
+/// [`matmul_tn_blocked`] with an explicitly forced micro-kernel backend.
+pub fn matmul_tn_blocked_with(
+    a: &Matrix,
+    b: &Matrix,
+    pool: &ThreadPool,
+    kernel: MicroKernel,
+) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "matmul_tn: inner dims {} vs {}", a.rows(), b.rows());
-    gemm_blocked(Orient::Tn, a, b, a.cols(), a.rows(), b.cols(), pool)
+    gemm_blocked(kernel, Orient::Tn, a, b, a.cols(), a.rows(), b.cols(), pool)
 }
 
 /// Shared pointer to C's buffer handed to tasks; tasks write disjoint row
@@ -218,7 +376,9 @@ impl CPtr {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn gemm_blocked(
+    kernel: MicroKernel,
     orient: Orient,
     a: &Matrix,
     b: &Matrix,
@@ -227,13 +387,14 @@ fn gemm_blocked(
     n: usize,
     pool: &ThreadPool,
 ) -> Matrix {
+    assert!(kernel.supported(), "micro-kernel {:?} unsupported on this host", kernel);
     let mut c = Matrix::zeros(m, n);
     if m == 0 || n == 0 || k == 0 {
         return c;
     }
     // B is packed ONCE, up front, and shared read-only by every task —
     // repacking it per row-block would add O(k·n) copies per task.
-    let b_packed = PackedB::new(orient, b, k, n);
+    let b_packed = PackedB::new(orient, b, k, n, kernel.nr());
     let n_tasks = m.div_ceil(BLOCK_M);
     let c_ptr = CPtr(c.data_mut().as_mut_ptr());
     pool.parallel_for(n_tasks, &|t| {
@@ -244,71 +405,74 @@ fn gemm_blocked(
         // `c` is touched again by this thread.
         let c_rows =
             unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(i0 * n), (i1 - i0) * n) };
-        gemm_row_block(orient, a, &b_packed, c_rows, i0, i1 - i0, k, n);
+        gemm_row_block(kernel, orient, a, &b_packed, c_rows, i0, i1 - i0, k, n);
     });
     c
 }
 
-/// Fixed-size slot for one `(k-tile, column-panel)` of packed B, so panel
-/// addresses are computable without per-tile offset tables.
-const B_SLOT: usize = BLOCK_K * NR;
-
-/// All of logical B repacked into `NR`-column micro-panels, grouped by
-/// k-tile: slot `(kc_idx, q)` holds `B[kc .. kc+kb, q·NR .. q·NR+NR]` as
-/// `kb` rows of `NR` contiguous values (zero-padded at both remainders).
+/// All of logical B repacked into `nr`-column micro-panels, grouped by
+/// k-tile: slot `(kc_idx, q)` holds `B[kc .. kc+kb, q·nr .. q·nr+nr]` as
+/// `kb` rows of `nr` contiguous values (zero-padded at both remainders).
 /// Padded lanes feed don't-care accumulator columns that are never stored.
+/// One implementation serves every micro-kernel backend: the panel width
+/// `nr` is a constructor parameter, and each `(k-tile, column-panel)` slot
+/// is the fixed size `BLOCK_K·nr` so panel addresses are computable without
+/// per-tile offset tables.
 struct PackedB {
     buf: Vec<f32>,
     n_panels: usize,
+    nr: usize,
 }
 
 impl PackedB {
-    fn new(orient: Orient, b: &Matrix, k: usize, n: usize) -> Self {
-        let n_panels = n.div_ceil(NR);
+    fn new(orient: Orient, b: &Matrix, k: usize, n: usize, nr: usize) -> Self {
+        let slot = BLOCK_K * nr;
+        let n_panels = n.div_ceil(nr);
         let k_tiles = k.div_ceil(BLOCK_K);
         // Pre-zeroed, each slot written once: padding needs no extra pass.
-        let mut buf = vec![0.0f32; k_tiles * n_panels * B_SLOT];
+        let mut buf = vec![0.0f32; k_tiles * n_panels * slot];
         for (kc_idx, kc) in (0..k).step_by(BLOCK_K).enumerate() {
             let kb = (k - kc).min(BLOCK_K);
             for q in 0..n_panels {
-                let slot = &mut buf[(kc_idx * n_panels + q) * B_SLOT..][..B_SLOT];
-                let j = q * NR;
-                let cols = (n - j).min(NR);
+                let slot_buf = &mut buf[(kc_idx * n_panels + q) * slot..][..slot];
+                let j = q * nr;
+                let cols = (n - j).min(nr);
                 match orient {
                     Orient::Nn | Orient::Tn => {
                         // Stored row-major [k, n]: copy a row stripe per kk.
                         for kk in 0..kb {
                             let src = &b.row(kc + kk)[j..j + cols];
-                            slot[kk * NR..kk * NR + cols].copy_from_slice(src);
+                            slot_buf[kk * nr..kk * nr + cols].copy_from_slice(src);
                         }
                     }
                     Orient::Nt => {
                         // Logical B = stored Bᵀ [n, k]: logical column j is
                         // storage row j — walk it contiguously, scatter with
-                        // stride NR.
+                        // stride nr.
                         for (l, row) in (0..cols).map(|l| (l, b.row(j + l))) {
                             for (kk, &v) in row[kc..kc + kb].iter().enumerate() {
-                                slot[kk * NR + l] = v;
+                                slot_buf[kk * nr + l] = v;
                             }
                         }
                     }
                 }
             }
         }
-        Self { buf, n_panels }
+        Self { buf, n_panels, nr }
     }
 
     fn panel(&self, kc_idx: usize, q: usize) -> &[f32] {
-        &self.buf[(kc_idx * self.n_panels + q) * B_SLOT..][..B_SLOT]
+        let slot = BLOCK_K * self.nr;
+        &self.buf[(kc_idx * self.n_panels + q) * slot..][..slot]
     }
 }
 
-/// Computes rows `[i0, i0+mb)` of C. Per k-tile: repack the A row panel
-/// (once — it is reused across every column panel), then sweep column panels
-/// outer / row panels inner so each 8 KiB packed B panel stays L1-resident
-/// while the L2-resident A panel streams past it. Serial per task;
-/// parallelism lives one level up.
+/// Monomorphizes the row-block sweep over the backend's tile constants.
+/// The enum → const-generic hop happens once per task, far off the hot
+/// path; everything below it compiles with `MR`/`NR` as literals.
+#[allow(clippy::too_many_arguments)]
 fn gemm_row_block(
+    kernel: MicroKernel,
     orient: Orient,
     a: &Matrix,
     b_packed: &PackedB,
@@ -318,31 +482,72 @@ fn gemm_row_block(
     k: usize,
     n: usize,
 ) {
+    match kernel {
+        MicroKernel::Scalar => gemm_row_block_g::<SCALAR_MR, SCALAR_NR>(
+            kernel, orient, a, b_packed, c_rows, i0, mb, k, n,
+        ),
+        MicroKernel::Avx2 => {
+            gemm_row_block_g::<AVX2_MR, AVX2_NR>(kernel, orient, a, b_packed, c_rows, i0, mb, k, n)
+        }
+    }
+}
+
+/// Computes rows `[i0, i0+mb)` of C. Per k-tile: repack the A row panel
+/// (once — it is reused across every column panel), then sweep column panels
+/// outer / row panels inner so each packed B panel stays L1-resident while
+/// the L2-resident A panel streams past it. Serial per task; parallelism
+/// lives one level up.
+#[allow(clippy::too_many_arguments)]
+fn gemm_row_block_g<const MR: usize, const NR: usize>(
+    kernel: MicroKernel,
+    orient: Orient,
+    a: &Matrix,
+    b_packed: &PackedB,
+    c_rows: &mut [f32],
+    i0: usize,
+    mb: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!((MR, NR), (kernel.mr(), kernel.nr()));
+    debug_assert_eq!(b_packed.nr, NR, "B packed for a different backend");
     let row_panels = mb.div_ceil(MR);
     let mut a_pack = vec![0.0f32; row_panels * MR * k.min(BLOCK_K)];
     for (kc_idx, kc) in (0..k).step_by(BLOCK_K).enumerate() {
         let kb = (k - kc).min(BLOCK_K);
-        pack_a(orient, a, &mut a_pack, i0, mb, kc, kb);
+        pack_a(orient, a, &mut a_pack, i0, mb, kc, kb, MR);
         for q in 0..b_packed.n_panels {
             let cols = (n - q * NR).min(NR);
             let b_panel = b_packed.panel(kc_idx, q);
             for p in 0..row_panels {
                 let rows = (mb - p * MR).min(MR);
                 let a_panel = &a_pack[p * kb * MR..(p + 1) * kb * MR];
-                micro_kernel(a_panel, b_panel, kb, c_rows, p * MR, q * NR, n, rows, cols);
+                micro_kernel::<MR, NR>(
+                    kernel,
+                    a_panel,
+                    b_panel,
+                    kb,
+                    c_rows,
+                    p * MR,
+                    q * NR,
+                    n,
+                    rows,
+                    cols,
+                );
             }
         }
     }
 }
 
 /// `MR×NR` register-tile update: `C[tile] += Apanel · Bpanel` over `kb`
-/// depth steps. The full-tile case is split out with constant-size loads
-/// and stores so LLVM promotes the whole accumulator array to vector
-/// registers; the `l` loop vectorizes, the per-element k chain stays scalar
-/// and in-order (the determinism contract).
+/// depth steps. Full tiles take the backend's fast path; remainder tiles
+/// take the shared scalar edge path. Which path computes an element is a
+/// pure function of shape and tile constants — never of thread count — so
+/// each backend stays bitwise deterministic (the per-path parity contract).
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn micro_kernel(
+fn micro_kernel<const MR: usize, const NR: usize>(
+    kernel: MicroKernel,
     a_panel: &[f32],
     b_panel: &[f32],
     kb: usize,
@@ -354,17 +559,34 @@ fn micro_kernel(
     cols: usize,
 ) {
     if rows == MR && cols == NR {
-        micro_kernel_full(a_panel, b_panel, kb, c_rows, ci, cj, n);
+        match kernel {
+            MicroKernel::Scalar => {
+                micro_kernel_full::<MR, NR>(a_panel, b_panel, kb, c_rows, ci, cj, n)
+            }
+            MicroKernel::Avx2 => {
+                #[cfg(target_arch = "x86_64")]
+                // SAFETY: `MicroKernel::Avx2` is only dispatched after
+                // `supported()` verified avx2+fma at kernel-selection time
+                // (gemm_blocked asserts it), and full-tile bounds were just
+                // checked (`rows == MR && cols == NR`).
+                unsafe {
+                    micro_kernel_avx2(a_panel, b_panel, kb, c_rows, ci, cj, n)
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                unreachable!("Avx2 backend cannot be selected off x86_64")
+            }
+        }
     } else {
-        micro_kernel_edge(a_panel, b_panel, kb, c_rows, ci, cj, n, rows, cols);
+        micro_kernel_edge::<MR, NR>(a_panel, b_panel, kb, c_rows, ci, cj, n, rows, cols);
     }
 }
 
-/// Full-tile fast path. Every access to `acc` is a constant index (the
-/// `MR`/`NR` loops fully unroll), so the array lives in registers; loading
-/// the C tile first keeps each element's k-chain unbroken across k-tiles.
+/// Scalar full-tile fast path. Every access to `acc` is a constant index
+/// (the `MR`/`NR` loops fully unroll), so the array lives in registers;
+/// loading the C tile first keeps each element's k-chain unbroken across
+/// k-tiles.
 #[inline]
-fn micro_kernel_full(
+fn micro_kernel_full<const MR: usize, const NR: usize>(
     a_panel: &[f32],
     b_panel: &[f32],
     kb: usize,
@@ -392,11 +614,64 @@ fn micro_kernel_full(
     }
 }
 
-/// Remainder tiles at the right/bottom edges: same arithmetic, but loads
-/// and stores clip to the valid `rows × cols` region (padded accumulator
-/// lanes are computed and discarded). Not speed-critical.
+/// AVX2+FMA full-tile fast path: a `6×16` C tile as 12 ymm accumulators,
+/// per depth step two B loads and six A broadcasts feeding
+/// `_mm256_fmadd_ps`. FMA fuses each `a·b + c` into one rounding, so this
+/// backend's k-chains differ from scalar in the last ulps (the per-path
+/// parity contract); within the backend the chain is still strictly
+/// ascending-k and thread-count independent.
+///
+/// # Safety
+/// Caller must guarantee the host supports `avx2` and `fma`, that
+/// `a_panel` holds at least `kb·6` f32, `b_panel` at least `kb·16`, and
+/// that rows `ci..ci+6` × cols `cj..cj+16` are in-bounds in `c_rows`
+/// (row stride `n`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn micro_kernel_avx2(
+    a_panel: &[f32],
+    b_panel: &[f32],
+    kb: usize,
+    c_rows: &mut [f32],
+    ci: usize,
+    cj: usize,
+    n: usize,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(a_panel.len() >= kb * AVX2_MR && b_panel.len() >= kb * AVX2_NR);
+    debug_assert!((ci + AVX2_MR - 1) * n + cj + AVX2_NR <= c_rows.len());
+    let mut acc = [[_mm256_setzero_ps(); 2]; AVX2_MR];
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        let p = c_rows.as_ptr().add((ci + r) * n + cj);
+        acc_row[0] = _mm256_loadu_ps(p);
+        acc_row[1] = _mm256_loadu_ps(p.add(8));
+    }
+    let mut ap = a_panel.as_ptr();
+    let mut bp = b_panel.as_ptr();
+    for _ in 0..kb {
+        let b0 = _mm256_loadu_ps(bp);
+        let b1 = _mm256_loadu_ps(bp.add(8));
+        for (r, acc_row) in acc.iter_mut().enumerate() {
+            let ar = _mm256_broadcast_ss(&*ap.add(r));
+            acc_row[0] = _mm256_fmadd_ps(ar, b0, acc_row[0]);
+            acc_row[1] = _mm256_fmadd_ps(ar, b1, acc_row[1]);
+        }
+        ap = ap.add(AVX2_MR);
+        bp = bp.add(AVX2_NR);
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        let p = c_rows.as_mut_ptr().add((ci + r) * n + cj);
+        _mm256_storeu_ps(p, acc_row[0]);
+        _mm256_storeu_ps(p.add(8), acc_row[1]);
+    }
+}
+
+/// Remainder tiles at the right/bottom edges, shared by every backend:
+/// same ascending-k arithmetic as the scalar full tile (plain mul+add),
+/// but loads and stores clip to the valid `rows × cols` region (padded
+/// accumulator lanes are computed and discarded). Not speed-critical.
 #[allow(clippy::too_many_arguments)]
-fn micro_kernel_edge(
+fn micro_kernel_edge<const MR: usize, const NR: usize>(
     a_panel: &[f32],
     b_panel: &[f32],
     kb: usize,
@@ -426,26 +701,37 @@ fn micro_kernel_edge(
     }
 }
 
-/// Packs logical-A rows `[i0, i0+mb) × [kc, kc+kb)` into `MR`-row panels:
-/// `buf[(panel·kb + kk)·MR + r]`, zero-padding the row remainder (padded
+/// Packs logical-A rows `[i0, i0+mb) × [kc, kc+kb)` into `mr`-row panels:
+/// `buf[(panel·kb + kk)·mr + r]`, zero-padding the row remainder (padded
 /// rows are computed into don't-care accumulator lanes and never stored).
-fn pack_a(orient: Orient, a: &Matrix, buf: &mut [f32], i0: usize, mb: usize, kc: usize, kb: usize) {
-    let panels = mb.div_ceil(MR);
+/// Shared by every micro-kernel backend via the `mr` parameter.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    orient: Orient,
+    a: &Matrix,
+    buf: &mut [f32],
+    i0: usize,
+    mb: usize,
+    kc: usize,
+    kb: usize,
+    mr: usize,
+) {
+    let panels = mb.div_ceil(mr);
     match orient {
         Orient::Nn | Orient::Nt => {
-            // Logical A is the stored matrix: copy row slices, stride MR out.
+            // Logical A is the stored matrix: copy row slices, stride mr out.
             for p in 0..panels {
-                let panel = &mut buf[p * kb * MR..(p + 1) * kb * MR];
-                let rows = (mb - p * MR).min(MR);
-                for r in 0..MR {
+                let panel = &mut buf[p * kb * mr..(p + 1) * kb * mr];
+                let rows = (mb - p * mr).min(mr);
+                for r in 0..mr {
                     if r < rows {
-                        let a_row = &a.row(i0 + p * MR + r)[kc..kc + kb];
+                        let a_row = &a.row(i0 + p * mr + r)[kc..kc + kb];
                         for (kk, &v) in a_row.iter().enumerate() {
-                            panel[kk * MR + r] = v;
+                            panel[kk * mr + r] = v;
                         }
                     } else {
                         for kk in 0..kb {
-                            panel[kk * MR + r] = 0.0;
+                            panel[kk * mr + r] = 0.0;
                         }
                     }
                 }
@@ -453,13 +739,13 @@ fn pack_a(orient: Orient, a: &Matrix, buf: &mut [f32], i0: usize, mb: usize, kc:
         }
         Orient::Tn => {
             // Logical A = stored Aᵀ: row kk of storage holds the panel's
-            // r-contiguous values, so each copy is a contiguous quad.
+            // r-contiguous values, so each copy is a contiguous stripe.
             for p in 0..panels {
-                let panel = &mut buf[p * kb * MR..(p + 1) * kb * MR];
-                let rows = (mb - p * MR).min(MR);
+                let panel = &mut buf[p * kb * mr..(p + 1) * kb * mr];
+                let rows = (mb - p * mr).min(mr);
                 for kk in 0..kb {
-                    let src = &a.row(kc + kk)[i0 + p * MR..i0 + p * MR + rows];
-                    let dst = &mut panel[kk * MR..kk * MR + MR];
+                    let src = &a.row(kc + kk)[i0 + p * mr..i0 + p * mr + rows];
+                    let dst = &mut panel[kk * mr..kk * mr + mr];
                     dst[..rows].copy_from_slice(src);
                     dst[rows..].fill(0.0);
                 }
@@ -556,8 +842,21 @@ mod tests {
         matmul(&Matrix::zeros(2, 3), &Matrix::zeros(4, 2));
     }
 
+    #[test]
+    fn kernel_table_is_consistent() {
+        assert_eq!(MicroKernel::Scalar.name(), "scalar");
+        assert_eq!(MicroKernel::Avx2.name(), "avx2");
+        assert_eq!((MicroKernel::Scalar.mr(), MicroKernel::Scalar.nr()), (4, 8));
+        assert_eq!((MicroKernel::Avx2.mr(), MicroKernel::Avx2.nr()), (6, 16));
+        assert!(MicroKernel::Scalar.supported(), "scalar must run everywhere");
+        // The resolved process-wide backend must itself be runnable.
+        assert!(active_kernel().supported());
+        // OnceLock: the same answer every time.
+        assert_eq!(active_kernel(), active_kernel());
+    }
+
     /// Regression for the removed zero-skip branch: `0 · NaN` must reach C
-    /// as NaN (IEEE 754), in every orientation and on both kernel paths.
+    /// as NaN (IEEE 754), in every orientation and on every kernel path.
     #[test]
     fn zero_times_nan_propagates() {
         let mut a = Matrix::zeros(2, 3); // A is all zeros, incl. the NaN row
@@ -569,11 +868,13 @@ mod tests {
         assert!(c[(1, 0)].is_nan());
         assert!(!c[(0, 1)].is_nan());
         let pool = ThreadPool::new(2);
-        let cb = matmul_blocked(&a, &b, &pool);
-        assert_eq!(
-            c.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-            cb.data().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
-        );
+        for kernel in [MicroKernel::Scalar, MicroKernel::Avx2] {
+            if !kernel.supported() {
+                continue;
+            }
+            let cb = matmul_blocked_with(&a, &b, &pool, kernel);
+            assert!(cb[(0, 0)].is_nan() && cb[(1, 0)].is_nan() && !cb[(0, 1)].is_nan());
+        }
 
         // Aᵀ·B with a zero in Aᵀ against a NaN in B.
         let mut at = Matrix::zeros(3, 2);
@@ -587,17 +888,41 @@ mod tests {
         assert!(cn[(0, 0)].is_nan());
     }
 
-    /// The dispatcher's two paths must agree bit-for-bit, so dispatch can
-    /// never change results.
+    /// The scalar backend must agree bit-for-bit with the serial triple
+    /// loops, so dispatch on the scalar path can never change results.
     #[test]
-    fn serial_and_blocked_agree_bitwise_at_the_threshold() {
+    fn serial_and_blocked_scalar_agree_bitwise_at_the_threshold() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(6);
         let pool = ThreadPool::new(3);
         let a = Matrix::random_uniform(64, 64, -1.0, 1.0, &mut rng);
         let b = Matrix::random_uniform(64, 64, -1.0, 1.0, &mut rng);
-        assert_eq!(matmul_serial(&a, &b), matmul_blocked(&a, &b, &pool));
-        assert_eq!(matmul_nt_serial(&a, &b), matmul_nt_blocked(&a, &b, &pool));
-        assert_eq!(matmul_tn_serial(&a, &b), matmul_tn_blocked(&a, &b, &pool));
+        let k = MicroKernel::Scalar;
+        assert_eq!(matmul_serial(&a, &b), matmul_blocked_with(&a, &b, &pool, k));
+        assert_eq!(matmul_nt_serial(&a, &b), matmul_nt_blocked_with(&a, &b, &pool, k));
+        assert_eq!(matmul_tn_serial(&a, &b), matmul_tn_blocked_with(&a, &b, &pool, k));
+    }
+
+    /// Each backend must be bitwise deterministic across thread counts
+    /// (the per-path parity contract); across backends, results agree
+    /// within floating-point tolerance (FMA rounds once per step).
+    #[test]
+    fn per_path_thread_parity_and_cross_path_tolerance() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(7);
+        let (m, k, n) = (70, 97, 45);
+        let a = Matrix::random_uniform(m, k, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(k, n, -1.0, 1.0, &mut rng);
+        let pool1 = ThreadPool::new(1);
+        let pool4 = ThreadPool::new(4);
+        let scalar = matmul_blocked_with(&a, &b, &pool1, MicroKernel::Scalar);
+        assert_eq!(scalar, matmul_blocked_with(&a, &b, &pool4, MicroKernel::Scalar));
+        if MicroKernel::Avx2.supported() {
+            let avx2 = matmul_blocked_with(&a, &b, &pool1, MicroKernel::Avx2);
+            assert_eq!(avx2, matmul_blocked_with(&a, &b, &pool4, MicroKernel::Avx2));
+            assert!(
+                crate::max_rel_diff(scalar.data(), avx2.data()) < 1e-5,
+                "scalar and avx2 backends diverged beyond FMA rounding"
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! (`flops / device_rate + kernels * launch_overhead`), which is what the
 //! Table 1 / Table 2 reproductions report instead of host wall-clock.
 
-use crate::matmul::KernelPath;
+use crate::matmul::{KernelPath, MicroKernel};
 
 /// Accumulated compute-side costs for one rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -22,6 +22,12 @@ pub struct Meter {
     /// GEMM launches that fell back to the serial kernel (below the
     /// `matmul::planned_path` size threshold).
     pub gemms_serial: u64,
+    /// Blocked-GEMM dispatches that ran the scalar micro-kernel backend
+    /// (`matmul::MicroKernel::Scalar`, the portable 4×8 tile).
+    pub gemms_kernel_scalar: u64,
+    /// Blocked-GEMM dispatches that ran the AVX2+FMA micro-kernel backend
+    /// (`matmul::MicroKernel::Avx2`, the 6×16 `_mm256_fmadd_ps` tile).
+    pub gemms_kernel_avx2: u64,
     /// Host-side deep copies of collective payloads (each one a real
     /// memcpy the zero-copy collectives exist to avoid). Never converted
     /// into simulated time: copies are a host artifact, not part of the
@@ -64,13 +70,21 @@ impl Meter {
     }
 
     /// Records one GEMM launch, additionally tallying which kernel
-    /// implementation its shape dispatched to. Dense and shadow backends
-    /// both derive `path` from `matmul::planned_path`, so their meters stay
-    /// equal op for op.
+    /// implementation its shape dispatched to, and — for blocked dispatches
+    /// — which micro-kernel backend the process resolved
+    /// (`matmul::active_kernel`). Dense and shadow backends both derive
+    /// `path` from `matmul::planned_path` and share the process-wide
+    /// backend, so their meters stay equal op for op.
     pub fn record_gemm(&mut self, flops: f64, out_bytes: usize, path: KernelPath) {
         self.record(flops, out_bytes);
         match path {
-            KernelPath::BlockedParallel => self.gemms_blocked += 1,
+            KernelPath::BlockedParallel => {
+                self.gemms_blocked += 1;
+                match crate::matmul::active_kernel() {
+                    MicroKernel::Scalar => self.gemms_kernel_scalar += 1,
+                    MicroKernel::Avx2 => self.gemms_kernel_avx2 += 1,
+                }
+            }
             KernelPath::Serial => self.gemms_serial += 1,
         }
     }
@@ -130,6 +144,8 @@ impl Meter {
         self.kernels += other.kernels;
         self.gemms_blocked += other.gemms_blocked;
         self.gemms_serial += other.gemms_serial;
+        self.gemms_kernel_scalar += other.gemms_kernel_scalar;
+        self.gemms_kernel_avx2 += other.gemms_kernel_avx2;
         self.payload_copies += other.payload_copies;
         self.payload_copy_bytes += other.payload_copy_bytes;
         self.comm_wait_nanos += other.comm_wait_nanos;
@@ -318,5 +334,26 @@ mod tests {
         other.record_gemm(1.0, 1, KernelPath::Serial);
         m.merge(&other);
         assert_eq!((m.gemms_serial, m.gemms_blocked), (2, 2));
+    }
+
+    #[test]
+    fn gemm_dispatch_counts_the_active_micro_kernel() {
+        let mut m = Meter::new();
+        m.record_gemm(10.0, 8, KernelPath::Serial);
+        // Serial dispatches never touch a micro-kernel backend.
+        assert_eq!((m.gemms_kernel_scalar, m.gemms_kernel_avx2), (0, 0));
+        m.record_gemm(20.0, 8, KernelPath::BlockedParallel);
+        m.record_gemm(30.0, 8, KernelPath::BlockedParallel);
+        // Blocked dispatches count against exactly the resolved backend.
+        let expected = match crate::matmul::active_kernel() {
+            MicroKernel::Scalar => (2, 0),
+            MicroKernel::Avx2 => (0, 2),
+        };
+        assert_eq!((m.gemms_kernel_scalar, m.gemms_kernel_avx2), expected);
+        assert_eq!(m.gemms_kernel_scalar + m.gemms_kernel_avx2, m.gemms_blocked);
+        let mut other = Meter::new();
+        other.record_gemm(1.0, 1, KernelPath::BlockedParallel);
+        m.merge(&other);
+        assert_eq!(m.gemms_kernel_scalar + m.gemms_kernel_avx2, 3);
     }
 }

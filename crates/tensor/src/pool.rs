@@ -245,8 +245,15 @@ pub fn configured_threads() -> usize {
     }
 }
 
-fn hardware_threads() -> usize {
+/// Hardware execution streams the host exposes (ignores
+/// `TESSERACT_THREADS`). Benches record this next to the configured pool
+/// size so a scaling curve measured on a constrained host is interpretable.
+pub fn host_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn hardware_threads() -> usize {
+    host_threads()
 }
 
 /// The lazily-created process-wide pool shared by all dense kernels.

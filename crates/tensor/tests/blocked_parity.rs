@@ -1,18 +1,37 @@
-//! Bitwise parity of the blocked (and blocked-parallel) GEMM kernels against
-//! the serial reference, and determinism across thread counts.
+//! Per-kernel-path parity of the blocked (and blocked-parallel) GEMM
+//! kernels, and determinism across thread counts.
 //!
-//! The contract under test (DESIGN.md §5): for every orientation and every
-//! shape, `*_blocked` produces **bitwise identical** output to `*_serial`,
-//! regardless of how many threads the pool has. This holds because both
-//! kernels accumulate each output element along the same ascending-k chain;
-//! blocking and parallelism only change iteration *grouping*, never the
-//! per-element floating-point evaluation order.
+//! The contract under test (DESIGN.md §5), per micro-kernel backend:
+//!
+//! * **Scalar path**: for every orientation and every shape,
+//!   `*_blocked_with(.., MicroKernel::Scalar)` produces **bitwise
+//!   identical** output to `*_serial`, regardless of how many threads the
+//!   pool has — both accumulate each output element along the same
+//!   ascending-k mul+add chain.
+//! * **AVX2 path**: `*_blocked_with(.., MicroKernel::Avx2)` is **bitwise
+//!   identical to itself** at any thread count (which micro-tile computes
+//!   an element depends only on shape and tile constants), and agrees with
+//!   the scalar path within floating-point tolerance — FMA fuses `a·b + c`
+//!   into one rounding, so the two backends' chains round differently.
+//!
+//! Blocking and parallelism only change iteration *grouping*, never a
+//! backend's per-element floating-point evaluation order.
 
 use tesseract_tensor::matmul::{
-    matmul_blocked, matmul_nt_blocked, matmul_nt_serial, matmul_serial, matmul_tn_blocked,
-    matmul_tn_serial, BLOCK_K, BLOCK_M, BLOCK_N,
+    matmul_blocked_with, matmul_nt_blocked_with, matmul_nt_serial, matmul_serial,
+    matmul_tn_blocked_with, matmul_tn_serial, BLOCK_K, BLOCK_M, BLOCK_N,
 };
-use tesseract_tensor::{Matrix, ThreadPool, Xoshiro256StarStar};
+use tesseract_tensor::{max_rel_diff, Matrix, MicroKernel, ThreadPool, Xoshiro256StarStar};
+
+/// Backends to run the forced-path matrix over: scalar always, AVX2 when
+/// the host supports it (forcing an unsupported backend panics by design).
+fn testable_kernels() -> Vec<MicroKernel> {
+    let mut kernels = vec![MicroKernel::Scalar];
+    if MicroKernel::Avx2.supported() {
+        kernels.push(MicroKernel::Avx2);
+    }
+    kernels
+}
 
 /// Deterministic test matrix with non-trivial mantissas (so reassociated
 /// summation would actually change bits) and mixed signs/magnitudes.
@@ -28,44 +47,79 @@ fn assert_bitwise_eq(label: &str, reference: &Matrix, candidate: &Matrix) {
     }
 }
 
-/// Checks all three orientations at one `(m, k, n)` against the given pool.
-/// Operand shapes are arranged so the *logical* product is m×k · k×n in every
-/// orientation (nt stores B as n×k, tn stores A as k×m).
+/// Checks all three orientations at one `(m, k, n)`: the scalar backend
+/// bitwise against the serial triple loops on the given pool, and every
+/// other supported backend bitwise against its own 1-thread result plus
+/// within tolerance of scalar. Operand shapes are arranged so the *logical*
+/// product is m×k · k×n in every orientation (nt stores B as n×k, tn stores
+/// A as k×m).
 fn check_shape(m: usize, k: usize, n: usize, pool: &ThreadPool, label: &str) {
+    let single = ThreadPool::new(1);
     let a = gen(m, k, 1);
     let b = gen(k, n, 2);
-    assert_bitwise_eq(
-        &format!("{label} nn {m}x{k}x{n}"),
-        &matmul_serial(&a, &b),
-        &matmul_blocked(&a, &b, pool),
-    );
-
     let bt = gen(n, k, 3);
-    assert_bitwise_eq(
-        &format!("{label} nt {m}x{k}x{n}"),
-        &matmul_nt_serial(&a, &bt),
-        &matmul_nt_blocked(&a, &bt, pool),
-    );
-
     let at = gen(k, m, 4);
-    assert_bitwise_eq(
-        &format!("{label} tn {m}x{k}x{n}"),
-        &matmul_tn_serial(&at, &b),
-        &matmul_tn_blocked(&at, &b, pool),
-    );
+    let serial = (matmul_serial(&a, &b), matmul_nt_serial(&a, &bt), matmul_tn_serial(&at, &b));
+
+    for kernel in testable_kernels() {
+        let kn = kernel.name();
+        let nn = matmul_blocked_with(&a, &b, pool, kernel);
+        let nt = matmul_nt_blocked_with(&a, &bt, pool, kernel);
+        let tn = matmul_tn_blocked_with(&at, &b, pool, kernel);
+        match kernel {
+            // Scalar: bitwise against the serial reference.
+            MicroKernel::Scalar => {
+                assert_bitwise_eq(&format!("{label} {kn} nn {m}x{k}x{n}"), &serial.0, &nn);
+                assert_bitwise_eq(&format!("{label} {kn} nt {m}x{k}x{n}"), &serial.1, &nt);
+                assert_bitwise_eq(&format!("{label} {kn} tn {m}x{k}x{n}"), &serial.2, &tn);
+            }
+            // SIMD: bitwise against itself serially, tolerant vs scalar.
+            MicroKernel::Avx2 => {
+                assert_bitwise_eq(
+                    &format!("{label} {kn} nn {m}x{k}x{n} vs 1 thread"),
+                    &matmul_blocked_with(&a, &b, &single, kernel),
+                    &nn,
+                );
+                assert_bitwise_eq(
+                    &format!("{label} {kn} nt {m}x{k}x{n} vs 1 thread"),
+                    &matmul_nt_blocked_with(&a, &bt, &single, kernel),
+                    &nt,
+                );
+                assert_bitwise_eq(
+                    &format!("{label} {kn} tn {m}x{k}x{n} vs 1 thread"),
+                    &matmul_tn_blocked_with(&at, &b, &single, kernel),
+                    &tn,
+                );
+                for (orient, reference, candidate) in
+                    [("nn", &serial.0, &nn), ("nt", &serial.1, &nt), ("tn", &serial.2, &tn)]
+                {
+                    let diff = max_rel_diff(reference.data(), candidate.data());
+                    assert!(
+                        diff < 1e-4,
+                        "{label} {kn} {orient} {m}x{k}x{n}: beyond FMA tolerance ({diff:e})"
+                    );
+                }
+            }
+        }
+    }
 }
 
-/// Shapes chosen to hit every remainder path in the packing and micro-kernel:
-/// degenerate dims, sizes just off the register tile (MR=4, NR=8), sizes
-/// straddling the cache-block boundaries, and extreme aspect ratios.
+/// Shapes chosen to hit every remainder path in the packing and both
+/// micro-kernel tile sets: degenerate dims, sizes just off the scalar
+/// (MR=4, NR=8) and AVX2 (MR=6, NR=16) register tiles — including
+/// m,n strictly below one tile — sizes straddling the cache-block
+/// boundaries, and extreme aspect ratios.
 fn adversarial_shapes() -> Vec<(usize, usize, usize)> {
     vec![
         (1, 1, 1),
         (1, 17, 1),
         (2, 3, 5),
         (3, 1, 9),   // k=1: single multiply, no accumulation chain
-        (4, 8, 8),   // exactly one register tile
-        (5, 9, 11),  // one past the register tile in every dim
+        (4, 8, 8),   // exactly one scalar register tile
+        (5, 9, 11),  // one past the scalar tile in every dim
+        (6, 16, 16), // exactly one AVX2 register tile
+        (7, 17, 17), // one past the AVX2 tile in every dim
+        (5, 20, 15), // below one AVX2 tile in m and n, above scalar's
         (7, 13, 23), // primes: nothing divides anything
         (BLOCK_M + 1, BLOCK_K + 2, BLOCK_N + 3),
         (65, 130, 97),
@@ -79,7 +133,7 @@ fn adversarial_shapes() -> Vec<(usize, usize, usize)> {
 }
 
 #[test]
-fn blocked_matches_serial_bitwise_on_adversarial_shapes() {
+fn blocked_matches_reference_per_path_on_adversarial_shapes() {
     let pool = ThreadPool::new(4);
     for (m, k, n) in adversarial_shapes() {
         check_shape(m, k, n, &pool, "adversarial");
@@ -87,7 +141,7 @@ fn blocked_matches_serial_bitwise_on_adversarial_shapes() {
 }
 
 #[test]
-fn blocked_is_bitwise_deterministic_across_thread_counts() {
+fn every_path_is_bitwise_deterministic_across_thread_counts() {
     // Big enough for several row-block tasks (m > 2 * BLOCK_M) with remainder,
     // so different thread counts genuinely interleave differently.
     let (m, k, n) = (2 * BLOCK_M + 37, 75, 61);
@@ -96,20 +150,47 @@ fn blocked_is_bitwise_deterministic_across_thread_counts() {
     let bt = gen(n, k, 12);
     let at = gen(k, m, 13);
 
-    let reference = (matmul_serial(&a, &b), matmul_nt_serial(&a, &bt), matmul_tn_serial(&at, &b));
-    for threads in [1, 2, 7, 16] {
-        let pool = ThreadPool::new(threads);
-        let label = format!("threads={threads}");
-        assert_bitwise_eq(&format!("{label} nn"), &reference.0, &matmul_blocked(&a, &b, &pool));
-        assert_bitwise_eq(&format!("{label} nt"), &reference.1, &matmul_nt_blocked(&a, &bt, &pool));
-        assert_bitwise_eq(&format!("{label} tn"), &reference.2, &matmul_tn_blocked(&at, &b, &pool));
+    for kernel in testable_kernels() {
+        let single = ThreadPool::new(1);
+        let reference = (
+            matmul_blocked_with(&a, &b, &single, kernel),
+            matmul_nt_blocked_with(&a, &bt, &single, kernel),
+            matmul_tn_blocked_with(&at, &b, &single, kernel),
+        );
+        if kernel == MicroKernel::Scalar {
+            // The scalar backend's 1-thread result is itself pinned to the
+            // serial triple loop, anchoring the whole matrix of checks.
+            assert_bitwise_eq("scalar anchor nn", &matmul_serial(&a, &b), &reference.0);
+            assert_bitwise_eq("scalar anchor nt", &matmul_nt_serial(&a, &bt), &reference.1);
+            assert_bitwise_eq("scalar anchor tn", &matmul_tn_serial(&at, &b), &reference.2);
+        }
+        for threads in [1, 2, 4, 7, 16] {
+            let pool = ThreadPool::new(threads);
+            let label = format!("{} threads={threads}", kernel.name());
+            assert_bitwise_eq(
+                &format!("{label} nn"),
+                &reference.0,
+                &matmul_blocked_with(&a, &b, &pool, kernel),
+            );
+            assert_bitwise_eq(
+                &format!("{label} nt"),
+                &reference.1,
+                &matmul_nt_blocked_with(&a, &bt, &pool, kernel),
+            );
+            assert_bitwise_eq(
+                &format!("{label} tn"),
+                &reference.2,
+                &matmul_tn_blocked_with(&at, &b, &pool, kernel),
+            );
+        }
     }
 }
 
 #[test]
 fn blocked_matches_serial_with_special_values() {
     // NaN/inf placed mid-matrix must flow through packing (including the
-    // zero-padded lanes) without contaminating neighbouring outputs.
+    // zero-padded lanes) without contaminating neighbouring outputs, on
+    // every backend.
     let m = 9;
     let k = 21;
     let n = 13;
@@ -122,33 +203,52 @@ fn blocked_matches_serial_with_special_values() {
 
     let pool = ThreadPool::new(3);
     let serial = matmul_serial(&a, &b);
-    let blocked = matmul_blocked(&a, &b, &pool);
-    assert_bitwise_eq("special-values nn", &serial, &blocked);
     // Sanity: the NaN actually reached the output somewhere.
     assert!(serial.data().iter().any(|v| v.is_nan()));
+    assert_bitwise_eq(
+        "special-values scalar nn",
+        &serial,
+        &matmul_blocked_with(&a, &b, &pool, MicroKernel::Scalar),
+    );
+    if MicroKernel::Avx2.supported() {
+        let avx2 = matmul_blocked_with(&a, &b, &pool, MicroKernel::Avx2);
+        // Special values classify identically even where rounding differs.
+        for (i, (s, v)) in serial.data().iter().zip(avx2.data()).enumerate() {
+            assert_eq!(s.is_nan(), v.is_nan(), "NaN placement diverged at {i}");
+            assert_eq!(
+                s.is_infinite() && !s.is_nan(),
+                v.is_infinite() && !v.is_nan(),
+                "infinity placement diverged at {i}"
+            );
+        }
+    }
 }
 
 #[test]
-fn public_entry_points_match_serial_above_the_dispatch_threshold() {
+fn public_entry_points_match_the_active_kernel_above_the_dispatch_threshold() {
     // 96^3 is above BLOCKED_MIN_ELEMS, so the public fns take the blocked
-    // path through the global pool — results must still be bitwise serial.
+    // path through the global pool on the process-wide backend — results
+    // must be bitwise identical to that backend run serially (and hence,
+    // when the backend is scalar, to the serial triple loop).
     let s = 96;
     let a = gen(s, s, 30);
     let b = gen(s, s, 31);
     let bt = gen(s, s, 32);
+    let kernel = tesseract_tensor::matmul::active_kernel();
+    let single = ThreadPool::new(1);
     assert_bitwise_eq(
         "public nn",
-        &matmul_serial(&a, &b),
+        &matmul_blocked_with(&a, &b, &single, kernel),
         &tesseract_tensor::matmul::matmul(&a, &b),
     );
     assert_bitwise_eq(
         "public nt",
-        &matmul_nt_serial(&a, &bt),
+        &matmul_nt_blocked_with(&a, &bt, &single, kernel),
         &tesseract_tensor::matmul::matmul_nt(&a, &bt),
     );
     assert_bitwise_eq(
         "public tn",
-        &matmul_tn_serial(&a, &b),
+        &matmul_tn_blocked_with(&a, &b, &single, kernel),
         &tesseract_tensor::matmul::matmul_tn(&a, &b),
     );
 }

@@ -141,3 +141,89 @@ proptest! {
         prop_assert!(s.abs() < 1e-5);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Forced-kernel-path properties (per-path parity contract, DESIGN.md §5)
+// ---------------------------------------------------------------------------
+
+use tesseract_tensor::matmul::{
+    matmul_blocked_with, matmul_nt_blocked_with, matmul_nt_serial, matmul_serial,
+    matmul_tn_blocked_with, matmul_tn_serial,
+};
+use tesseract_tensor::{MicroKernel, ThreadPool};
+
+/// Shapes spanning both backends' remainder edges: m and n range from
+/// strictly below one scalar tile (4×8) through several AVX2 tiles (6×16),
+/// k crosses nothing-divides-anything territory.
+fn kernel_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..40, 1usize..96, 1usize..40)
+}
+
+fn forced_kernels() -> Vec<MicroKernel> {
+    let mut kernels = vec![MicroKernel::Scalar];
+    if MicroKernel::Avx2.supported() {
+        kernels.push(MicroKernel::Avx2);
+    }
+    kernels
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Scalar and AVX2 backends agree within FMA rounding tolerance on
+    /// random shapes, including micro-tile remainder edges, in all three
+    /// orientations.
+    #[test]
+    fn forced_paths_agree_within_tolerance((m, k, n) in kernel_dims(), seed in 0u64..1000) {
+        if MicroKernel::Avx2.supported() {
+            let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+            let a = Matrix::random_uniform(m, k, -2.0, 2.0, &mut rng);
+            let b = Matrix::random_uniform(k, n, -2.0, 2.0, &mut rng);
+            let bt = Matrix::random_uniform(n, k, -2.0, 2.0, &mut rng);
+            let at = Matrix::random_uniform(k, m, -2.0, 2.0, &mut rng);
+            let pool = ThreadPool::new(2);
+            let (s, v) = (MicroKernel::Scalar, MicroKernel::Avx2);
+            prop_assert!(max_rel_diff(
+                matmul_blocked_with(&a, &b, &pool, s).data(),
+                matmul_blocked_with(&a, &b, &pool, v).data(),
+            ) < 1e-4);
+            prop_assert!(max_rel_diff(
+                matmul_nt_blocked_with(&a, &bt, &pool, s).data(),
+                matmul_nt_blocked_with(&a, &bt, &pool, v).data(),
+            ) < 1e-4);
+            prop_assert!(max_rel_diff(
+                matmul_tn_blocked_with(&at, &b, &pool, s).data(),
+                matmul_tn_blocked_with(&at, &b, &pool, v).data(),
+            ) < 1e-4);
+        }
+    }
+
+    /// Within a fixed backend, the blocked kernel is bitwise identical at
+    /// 1/2/4 threads — and the scalar backend is additionally bitwise
+    /// identical to the serial triple loop.
+    #[test]
+    fn each_path_is_bitwise_thread_invariant((m, k, n) in kernel_dims(), seed in 0u64..1000) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let a = Matrix::random_uniform(m, k, -2.0, 2.0, &mut rng);
+        let b = Matrix::random_uniform(k, n, -2.0, 2.0, &mut rng);
+        let bt = Matrix::random_uniform(n, k, -2.0, 2.0, &mut rng);
+        let at = Matrix::random_uniform(k, m, -2.0, 2.0, &mut rng);
+        for kernel in forced_kernels() {
+            let single = ThreadPool::new(1);
+            let nn1 = matmul_blocked_with(&a, &b, &single, kernel);
+            let nt1 = matmul_nt_blocked_with(&a, &bt, &single, kernel);
+            let tn1 = matmul_tn_blocked_with(&at, &b, &single, kernel);
+            if kernel == MicroKernel::Scalar {
+                prop_assert_eq!(&nn1, &matmul_serial(&a, &b));
+                prop_assert_eq!(&nt1, &matmul_nt_serial(&a, &bt));
+                prop_assert_eq!(&tn1, &matmul_tn_serial(&at, &b));
+            }
+            for threads in [2usize, 4] {
+                let pool = ThreadPool::new(threads);
+                prop_assert_eq!(&nn1, &matmul_blocked_with(&a, &b, &pool, kernel));
+                prop_assert_eq!(&nt1, &matmul_nt_blocked_with(&a, &bt, &pool, kernel));
+                prop_assert_eq!(&tn1, &matmul_tn_blocked_with(&at, &b, &pool, kernel));
+            }
+        }
+    }
+}

@@ -14,9 +14,33 @@ RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
 echo "== test (offline) =="
 cargo test -q --workspace --offline
 
-echo "== gemm_sweep smoke (tiny sizes) =="
-cargo run -q --release --offline -p tesseract-bench --bin gemm_sweep -- \
-    --sizes 96,128 --reps 2 --out target/BENCH_kernels.smoke.json
+# The sweep itself enforces per-path bitwise parity at every swept thread
+# count before accepting a timing; CI additionally proves a TESSERACT_KERNEL
+# override is honored end-to-end (forced run must report the forced path).
+echo "== gemm_sweep smoke (tiny sizes, forced scalar path) =="
+TESSERACT_KERNEL=scalar cargo run -q --release --offline -p tesseract-bench --bin gemm_sweep -- \
+    --sizes 96,128 --reps 2 --threads 1,2 --out target/BENCH_kernels.smoke.scalar.json
+grep -q '"kernel": "scalar"' target/BENCH_kernels.smoke.scalar.json \
+    || { echo "ci.sh: forced scalar kernel not reported in sweep JSON"; exit 1; }
+grep -q '"kernel_forced": true' target/BENCH_kernels.smoke.scalar.json \
+    || { echo "ci.sh: kernel_forced flag missing for forced run"; exit 1; }
+
+echo "== gemm_sweep smoke (auto-detected path, 2-thread pool) =="
+TESSERACT_THREADS=2 cargo run -q --release --offline -p tesseract-bench --bin gemm_sweep -- \
+    --sizes 96,128 --reps 2 --threads 1,2 --out target/BENCH_kernels.smoke.json
+grep -Eq '"kernel": "(scalar|avx2)"' target/BENCH_kernels.smoke.json \
+    || { echo "ci.sh: auto-detect run reported no kernel path"; exit 1; }
+grep -q '"pool_threads": 2' target/BENCH_kernels.smoke.json \
+    || { echo "ci.sh: TESSERACT_THREADS=2 not reflected in sweep JSON"; exit 1; }
+
+# Hosts that auto-detect AVX2 must also honor forcing it explicitly.
+if grep -q '"kernel": "avx2"' target/BENCH_kernels.smoke.json; then
+    echo "== gemm_sweep smoke (forced avx2 path) =="
+    TESSERACT_KERNEL=avx2 cargo run -q --release --offline -p tesseract-bench --bin gemm_sweep -- \
+        --sizes 96 --reps 2 --threads 1,2 --out target/BENCH_kernels.smoke.avx2.json
+    grep -q '"kernel": "avx2"' target/BENCH_kernels.smoke.avx2.json \
+        || { echo "ci.sh: forced avx2 kernel not reported in sweep JSON"; exit 1; }
+fi
 
 # The copy-regression gate itself is crates/core/tests/collectives_parity.rs
 # (runs under `cargo test` above): any reintroduced per-receiver clone in the
