@@ -18,7 +18,7 @@
 
 use std::sync::Arc;
 
-use tesseract_comm::{CommGroup, Payload, RankCtx};
+use tesseract_comm::{CommGroup, Mesh, MeshAxis, Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
 use tesseract_core::module::{Module, ParamRef, Sequential, Tape};
@@ -44,6 +44,19 @@ impl MegatronWorld {
     /// Builds the 1-D group over `ranks` (must include `ctx.rank`).
     pub fn new(ctx: &RankCtx, ranks: Vec<usize>) -> Self {
         let group = ctx.group("megatron.tp", ranks);
+        Self { p: group.size(), index: group.my_index(), group }
+    }
+
+    /// The canonical 1-D layout as a named-axis mesh: `p` contiguous ranks
+    /// from `base` on a single `"tp"` axis.
+    pub fn tp_mesh(p: usize, base: usize) -> Mesh {
+        Mesh::new(base, vec![MeshAxis::new("tp", p)])
+    }
+
+    /// Builds the world as the `"tp"` fiber of a 1-axis mesh (the whole
+    /// mesh) — the mesh-layout counterpart of [`MegatronWorld::new`].
+    pub fn from_mesh(ctx: &RankCtx, mesh: &Mesh) -> Self {
+        let group = mesh.fiber_group(ctx, "megatron.tp", "tp");
         Self { p: group.size(), index: group.my_index(), group }
     }
 }

@@ -80,7 +80,7 @@ fn hidden_seconds(reports: &[tesseract_comm::RankReport]) -> f64 {
 pub fn time_megatron(p: usize, cfg: TransformerConfig) -> SchemeTiming {
     assert_eq!(cfg.heads % p, 0, "megatron needs p | heads");
     let out = Cluster::a100(p).run(|ctx| {
-        let world = MegatronWorld::new(ctx, (0..p).collect());
+        let world = MegatronWorld::from_mesh(ctx, &MegatronWorld::tp_mesh(p, 0));
         let mut model = MegatronTransformer::<ShadowTensor>::new(&world, cfg, true, 0, 0);
         // Activations are replicated: every rank sees the full batch.
         let x = std::sync::Arc::new(ShadowTensor::new(cfg.rows(), cfg.hidden));

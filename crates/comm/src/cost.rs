@@ -8,7 +8,7 @@
 //! report these virtual seconds; the constants are calibrated to A100-class
 //! hardware so *relative* results (who wins, by what factor) carry over.
 
-use crate::topology::Link;
+use crate::topology::{GroupPlacement, Link};
 
 /// Collective operations the fabric implements. Used for statistics keys and
 /// cost formulas.
@@ -50,6 +50,33 @@ impl CollectiveOp {
             CollectiveOp::Barrier => "barrier",
             CollectiveOp::SendRecv => "send_recv",
         }
+    }
+}
+
+/// Breakdown of one collective's simulated duration under the two-level
+/// (topology-aware) schedule. Produced by
+/// [`CostParams::phased_collective_time`]; `total` is the single number the
+/// charging sites feed into the clocks, so split-phase/overlap accounting
+/// and trace-event shapes are unchanged from the flat model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhasedCost {
+    /// Seconds of the intra-node NVLink phase(s) of the two-level schedule.
+    pub intra: f64,
+    /// Seconds of the inter-node InfiniBand phase of the two-level schedule.
+    pub inter: f64,
+    /// Seconds the legacy flat model charges: the single-level algorithm on
+    /// the group's worst link.
+    pub flat: f64,
+    /// Seconds actually charged: the cheaper of the flat algorithm and the
+    /// two-level schedule, floored at the pure-NVLink bound.
+    pub total: f64,
+}
+
+impl PhasedCost {
+    /// True when the two-level schedule strictly undercuts the flat charge
+    /// at this size (the interesting half of the crossover).
+    pub fn hierarchical_won(&self) -> bool {
+        self.total < self.flat
     }
 }
 
@@ -152,6 +179,90 @@ impl CostParams {
         }
     }
 
+    /// Simulated duration of one collective over a group placed as `p`
+    /// (from [`crate::topology::Topology::placement`]), decomposed into an
+    /// intra-node NVLink phase and an inter-node InfiniBand phase.
+    ///
+    /// The two-level schedule mirrors what NCCL-class libraries do on
+    /// NVLink-island clusters: stage the op inside each node on NVLink
+    /// first/last and run the cross-node step over one leader per node on
+    /// InfiniBand, so the slow fabric carries `nodes` participants instead
+    /// of `members`:
+    /// * broadcast / reduce / scatter / gather: IB tree over the node
+    ///   leaders + NVLink tree inside the fullest node;
+    /// * all-reduce: NVLink reduce to the node leader, IB ring all-reduce
+    ///   over leaders, NVLink broadcast back;
+    /// * all-gather: NVLink gather to the leader, IB ring all-gather of the
+    ///   per-node superblocks, NVLink broadcast of the full result;
+    /// * barrier: NVLink barrier per node + IB barrier over leaders;
+    /// * shift / send-recv: point-to-point rounds have no hierarchy — they
+    ///   are charged flat.
+    ///
+    /// The charged total applies **size-based algorithm selection**: the
+    /// scheduler picks whichever of the flat single-level algorithm and the
+    /// two-level schedule is cheaper (`min`), and a spread placement never
+    /// beats packing the whole group on one NVLink island (the pure-NVLink
+    /// cost is a floor — `max`). Consequently for every placement
+    /// `flat(NVLink) ≤ total ≤ flat(worst link)`, with the two-level
+    /// schedule strictly cheaper than flat IB at latency-relevant sizes
+    /// whenever several members share a node, and exactly equal to the flat
+    /// NVLink charge for intra-node groups.
+    pub fn phased_collective_time(
+        &self,
+        op: CollectiveOp,
+        bytes: usize,
+        p: GroupPlacement,
+    ) -> PhasedCost {
+        let n = p.members;
+        if p.nodes <= 1 {
+            // Intra-node (or singleton) group: there is no inter-node phase
+            // and the two-level schedule degenerates to the flat NVLink
+            // algorithm, identically to the legacy worst-link charge.
+            let link = if n <= 1 { Link::Local } else { Link::NvLink };
+            let flat = self.collective_time(op, n, bytes, link);
+            return PhasedCost { intra: flat, inter: 0.0, flat, total: flat };
+        }
+        let flat = self.collective_time(op, n, bytes, Link::InfiniBand);
+        let m = p.max_per_node;
+        let (intra, inter) = match op {
+            CollectiveOp::Broadcast
+            | CollectiveOp::Reduce
+            | CollectiveOp::Scatter
+            | CollectiveOp::Gather => (
+                self.collective_time(op, m, bytes, Link::NvLink),
+                self.collective_time(op, p.nodes, bytes, Link::InfiniBand),
+            ),
+            CollectiveOp::AllReduce => (
+                self.collective_time(CollectiveOp::Reduce, m, bytes, Link::NvLink)
+                    + self.collective_time(CollectiveOp::Broadcast, m, bytes, Link::NvLink),
+                self.collective_time(CollectiveOp::AllReduce, p.nodes, bytes, Link::InfiniBand),
+            ),
+            CollectiveOp::AllGather => (
+                self.collective_time(CollectiveOp::Gather, m, bytes, Link::NvLink)
+                    + self.collective_time(
+                        CollectiveOp::Broadcast,
+                        m,
+                        n.saturating_mul(bytes),
+                        Link::NvLink,
+                    ),
+                self.collective_time(
+                    CollectiveOp::AllGather,
+                    p.nodes,
+                    m.saturating_mul(bytes),
+                    Link::InfiniBand,
+                ),
+            ),
+            CollectiveOp::Barrier => (
+                self.collective_time(CollectiveOp::Barrier, m, 0, Link::NvLink),
+                self.collective_time(CollectiveOp::Barrier, p.nodes, 0, Link::InfiniBand),
+            ),
+            CollectiveOp::Shift | CollectiveOp::SendRecv => (0.0, flat),
+        };
+        let nv_floor = self.collective_time(op, n, bytes, Link::NvLink);
+        let total = flat.min((intra + inter).max(nv_floor));
+        PhasedCost { intra, inter, flat, total }
+    }
+
     /// Total bytes a collective puts on the wire (for volume accounting):
     /// the standard logical volumes of the algorithms above.
     pub fn wire_bytes(&self, op: CollectiveOp, n: usize, bytes: usize) -> u64 {
@@ -228,6 +339,108 @@ mod tests {
         let p = CostParams::a100_cluster().free_comm();
         for op in CollectiveOp::ALL {
             assert_eq!(p.collective_time(op, 8, 1 << 20, Link::InfiniBand), 0.0, "{op:?}");
+        }
+    }
+
+    fn placement(members: usize, nodes: usize, max_per_node: usize) -> GroupPlacement {
+        GroupPlacement { members, nodes, max_per_node }
+    }
+
+    #[test]
+    fn phased_intra_node_group_equals_flat_nvlink() {
+        let p = CostParams::a100_cluster();
+        for op in CollectiveOp::ALL {
+            for bytes in [0usize, 1024, 1 << 22] {
+                let c = p.phased_collective_time(op, bytes, placement(4, 1, 4));
+                let flat_nv = p.collective_time(op, 4, bytes, Link::NvLink);
+                assert_eq!(c.total, flat_nv, "{op:?} {bytes}");
+                assert_eq!(c.flat, flat_nv, "{op:?} {bytes}");
+                assert!(!c.hierarchical_won(), "{op:?} {bytes}");
+            }
+        }
+    }
+
+    #[test]
+    fn phased_singleton_group_is_free() {
+        let p = CostParams::a100_cluster();
+        let c = p.phased_collective_time(CollectiveOp::Broadcast, 1 << 20, placement(1, 1, 1));
+        assert_eq!(c.total, 0.0);
+    }
+
+    #[test]
+    fn phased_is_sandwiched_between_nvlink_and_flat_ib() {
+        let p = CostParams::a100_cluster();
+        for op in CollectiveOp::ALL {
+            for (n, nodes, m) in [(8, 2, 4), (16, 4, 4), (4, 2, 3), (5, 5, 1), (64, 16, 4)] {
+                for bytes in [0usize, 1 << 10, 1 << 22, 1 << 26] {
+                    let c = p.phased_collective_time(op, bytes, placement(n, nodes, m));
+                    let nv = p.collective_time(op, n, bytes, Link::NvLink);
+                    let ib = p.collective_time(op, n, bytes, Link::InfiniBand);
+                    assert!(c.total >= nv, "{op:?} n={n} nodes={nodes} m={m} bytes={bytes}");
+                    assert!(c.total <= ib, "{op:?} n={n} nodes={nodes} m={m} bytes={bytes}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phased_wins_at_small_sizes_when_members_share_nodes() {
+        let p = CostParams::a100_cluster();
+        // 8 ranks over 2 full Meluxina nodes: the IB fabric sees 2
+        // participants instead of 8, so latency-bound collectives are
+        // strictly cheaper under the two-level schedule.
+        for op in [
+            CollectiveOp::Broadcast,
+            CollectiveOp::Reduce,
+            CollectiveOp::AllReduce,
+            CollectiveOp::AllGather,
+        ] {
+            let c = p.phased_collective_time(op, 1024, placement(8, 2, 4));
+            assert!(c.hierarchical_won(), "{op:?}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn phased_broadcast_crosses_over_to_flat_at_large_sizes() {
+        let p = CostParams::a100_cluster();
+        // Two-level broadcast pays the payload over NVLink *and* IB; the
+        // pipelined flat tree pays it once over IB. The latency saving
+        // (2 IB hops) buys the extra NVLink pass only below
+        // β_nv · 2(α_ib − α_nv) = 3.2 MB.
+        let small = p.phased_collective_time(CollectiveOp::Broadcast, 1 << 20, placement(8, 2, 4));
+        assert!(small.hierarchical_won());
+        let big = p.phased_collective_time(CollectiveOp::Broadcast, 1 << 23, placement(8, 2, 4));
+        assert!(!big.hierarchical_won());
+        assert_eq!(big.total, big.flat);
+    }
+
+    #[test]
+    fn phased_spread_placement_without_sharing_matches_flat() {
+        let p = CostParams::a100_cluster();
+        // One member per node: the "intra phase" is a singleton (free) and
+        // the inter phase is the flat algorithm over all members.
+        for op in [CollectiveOp::Broadcast, CollectiveOp::AllReduce, CollectiveOp::AllGather] {
+            let c = p.phased_collective_time(op, 4096, placement(4, 4, 1));
+            assert_eq!(c.total, c.flat, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn phased_point_to_point_ops_are_flat() {
+        let p = CostParams::a100_cluster();
+        for op in [CollectiveOp::Shift, CollectiveOp::SendRecv] {
+            let c = p.phased_collective_time(op, 4096, placement(8, 2, 4));
+            assert_eq!(c.total, c.flat, "{op:?}");
+            assert_eq!(c.intra, 0.0, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn phased_free_comm_is_free() {
+        let p = CostParams::a100_cluster().free_comm();
+        for op in CollectiveOp::ALL {
+            let c = p.phased_collective_time(op, 1 << 20, placement(8, 2, 4));
+            assert_eq!(c.total, 0.0, "{op:?}");
         }
     }
 

@@ -62,6 +62,7 @@ use tesseract_tensor::{trace, TensorLike, TraceKind};
 
 use crate::cost::CollectiveOp;
 use crate::ctx::RankCtx;
+use crate::topology::GroupPlacement;
 
 /// Per-collective trace observer. Opened at the public entry of every
 /// collective (or at `complete` for split-phase ones, with the deposit
@@ -291,6 +292,10 @@ pub struct CommGroup {
     id: u64,
     ranks: Vec<usize>,
     my_index: usize,
+    /// Node-boundary summary of `ranks`, computed once at construction (the
+    /// topology is immutable for the life of a run); drives the two-level
+    /// cost model at every charging site.
+    placement: GroupPlacement,
     seq: Cell<u64>,
     /// Sequence numbers of split-phase collectives begun but not yet
     /// completed, in begin order. `complete` must drain this FIFO from the
@@ -307,11 +312,17 @@ impl CommGroup {
             .unwrap_or_else(|| panic!("rank {} not a member of group '{tag}' {ranks:?}", ctx.rank));
         Self {
             id: group_id(tag, &ranks),
+            placement: ctx.topology.placement(&ranks),
             ranks,
             my_index,
             seq: Cell::new(0),
             outstanding: RefCell::new(VecDeque::new()),
         }
+    }
+
+    /// How this group's members sit relative to node boundaries.
+    pub fn placement(&self) -> GroupPlacement {
+        self.placement
     }
 
     pub fn size(&self) -> usize {
@@ -353,8 +364,7 @@ impl CommGroup {
         let (max_vt, deposits) =
             ctx.fabric().exchange(key, self.my_index, self.size(), payload, entry);
         span.note_sync(key, entry, max_vt);
-        let link = ctx.topology.worst_link(&self.ranks);
-        let cost = ctx.params.collective_time(op, self.size(), bytes.unwrap_or(0), link);
+        let cost = ctx.params.phased_collective_time(op, bytes.unwrap_or(0), self.placement).total;
         span.note_cost(cost);
         ctx.advance_comm(max_vt + cost);
         if bytes.is_some() && self.my_index == 0 {
@@ -389,8 +399,7 @@ impl CommGroup {
             combine_parts_in_order,
         );
         span.note_sync(key, entry, max_vt);
-        let link = ctx.topology.worst_link(&self.ranks);
-        let cost = ctx.params.collective_time(op, self.size(), bytes, link);
+        let cost = ctx.params.phased_collective_time(op, bytes, self.placement).total;
         span.note_cost(cost);
         ctx.advance_comm(max_vt + cost);
         if self.my_index == 0 {
@@ -471,8 +480,7 @@ impl CommGroup {
     /// rendezvous. Keeps clocks identical across members because every
     /// member executes the same re-charge.
     fn recharge(&self, ctx: &mut RankCtx, op: CollectiveOp, bytes: usize, span: &mut CommScope) {
-        let link = ctx.topology.worst_link(&self.ranks);
-        let cost = ctx.params.collective_time(op, self.size(), bytes, link);
+        let cost = ctx.params.phased_collective_time(op, bytes, self.placement).total;
         span.note_cost(cost);
         ctx.advance_comm(ctx.clock() + cost);
         if self.my_index == 0 {
@@ -682,10 +690,12 @@ impl CommGroup {
         deferred_size: bool,
         span: &mut CommScope,
     ) {
-        let link = ctx.topology.worst_link(&self.ranks);
-        let cost_b = ctx.params.collective_time(op, self.size(), bytes, link);
-        let cost0 =
-            if deferred_size { ctx.params.collective_time(op, self.size(), 0, link) } else { 0.0 };
+        let cost_b = ctx.params.phased_collective_time(op, bytes, self.placement).total;
+        let cost0 = if deferred_size {
+            ctx.params.phased_collective_time(op, 0, self.placement).total
+        } else {
+            0.0
+        };
         span.note_sync(span.key, deposit_vt, max_vt);
         span.note_cost(cost0 + cost_b);
         let target = max_vt + cost0 + cost_b;

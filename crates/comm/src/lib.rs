@@ -20,12 +20,14 @@ pub mod cost;
 pub mod ctx;
 pub mod fabric;
 pub mod group;
+pub mod mesh;
 pub mod stats;
 pub mod topology;
 
 pub use cluster::{Cluster, RunOutput};
-pub use cost::{CollectiveOp, CostParams};
+pub use cost::{CollectiveOp, CostParams, PhasedCost};
 pub use ctx::{RankCtx, RankReport};
 pub use group::{CommGroup, Payload, PendingCollective};
+pub use mesh::{Mesh, MeshAxis};
 pub use stats::{CommStats, OpStats, StatsCollector};
-pub use topology::{Link, Topology};
+pub use topology::{GroupPlacement, Link, NodeArrangement, Topology};

@@ -1,0 +1,238 @@
+//! Named-axis device meshes (Mesh-TensorFlow-style layouts).
+//!
+//! A [`Mesh`] arranges a contiguous block of ranks `base..base+size` as a
+//! row-major multi-dimensional grid whose axes carry **names** ("depth",
+//! "row", "col", "dp", …) instead of positional conventions. Layouts that
+//! used to hard-code stride arithmetic (`rank = base + k·q² + i·q + j`)
+//! become declarations — list the axes outermost-first — and every derived
+//! quantity (coordinates, offsets, communication fibers) falls out of the
+//! axis strides:
+//!
+//! * [`Mesh::coords_of`] / [`Mesh::offset_of`] convert between a rank
+//!   offset and its per-axis coordinates;
+//! * [`Mesh::fiber_ranks`] produces the rank list obtained by varying one
+//!   named axis while pinning all others — exactly the membership (and
+//!   member order: ascending along the axis) of a collective group over
+//!   that axis;
+//! * [`Mesh::fiber_group`] builds the [`CommGroup`] directly.
+//!
+//! The Tesseract `[q,q,d]` grid is the 3-axis mesh
+//! `[("depth", d), ("row", q), ("col", q)]`; the hybrid Figure-6 world
+//! prepends `("dp", dp), ("pp", pp)`; Megatron-LM's 1-D tensor parallelism
+//! is the 1-axis mesh `[("tp", p)]`.
+
+use crate::ctx::RankCtx;
+use crate::group::CommGroup;
+
+/// One named dimension of a [`Mesh`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeshAxis {
+    /// Axis name, unique within its mesh (e.g. `"row"`).
+    pub name: &'static str,
+    /// Number of positions along the axis (≥ 1).
+    pub size: usize,
+}
+
+impl MeshAxis {
+    pub fn new(name: &'static str, size: usize) -> Self {
+        assert!(size >= 1, "mesh axis '{name}' must have positive size");
+        Self { name, size }
+    }
+}
+
+/// A named-axis layout of the contiguous ranks `base..base+size`, row-major
+/// with the **last** listed axis contiguous (stride 1) and the first listed
+/// axis outermost.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mesh {
+    base: usize,
+    axes: Vec<MeshAxis>,
+    /// `strides[a]` = rank-offset distance between neighbors along axis `a`.
+    strides: Vec<usize>,
+}
+
+impl Mesh {
+    /// Builds a mesh over `base..base+Πsize` from axes listed
+    /// outermost-first. Axis names must be unique.
+    pub fn new(base: usize, axes: Vec<MeshAxis>) -> Self {
+        assert!(!axes.is_empty(), "a mesh needs at least one axis");
+        for (i, a) in axes.iter().enumerate() {
+            assert!(
+                axes[i + 1..].iter().all(|b| b.name != a.name),
+                "duplicate mesh axis name '{}'",
+                a.name
+            );
+        }
+        let mut strides = vec![1usize; axes.len()];
+        for a in (0..axes.len().saturating_sub(1)).rev() {
+            strides[a] = strides[a + 1] * axes[a + 1].size;
+        }
+        Self { base, axes, strides }
+    }
+
+    /// First global rank of the mesh.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Total rank count (product of axis sizes).
+    pub fn size(&self) -> usize {
+        self.axes.iter().map(|a| a.size).product()
+    }
+
+    /// The axes, outermost-first.
+    pub fn axes(&self) -> &[MeshAxis] {
+        &self.axes
+    }
+
+    /// Position of the named axis, panicking with the known names on a miss
+    /// (axis names are static typos-by-construction).
+    pub fn axis_index(&self, name: &str) -> usize {
+        self.axes.iter().position(|a| a.name == name).unwrap_or_else(|| {
+            let known: Vec<&str> = self.axes.iter().map(|a| a.name).collect();
+            panic!("mesh has no axis '{name}' (axes: {known:?})")
+        })
+    }
+
+    /// The named axis.
+    pub fn axis(&self, name: &str) -> MeshAxis {
+        self.axes[self.axis_index(name)]
+    }
+
+    /// Rank-offset distance between neighbors along the named axis.
+    pub fn stride(&self, name: &str) -> usize {
+        self.strides[self.axis_index(name)]
+    }
+
+    /// Per-axis coordinates of a rank offset within the mesh (same order as
+    /// [`Mesh::axes`]).
+    pub fn coords_of(&self, offset: usize) -> Vec<usize> {
+        assert!(offset < self.size(), "offset {offset} out of mesh of size {}", self.size());
+        self.axes.iter().zip(&self.strides).map(|(a, &s)| (offset / s) % a.size).collect()
+    }
+
+    /// Rank offset of per-axis coordinates (inverse of [`Mesh::coords_of`]).
+    pub fn offset_of(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.axes.len(), "need one coordinate per axis");
+        coords
+            .iter()
+            .zip(self.axes.iter().zip(&self.strides))
+            .map(|(&c, (a, &s))| {
+                assert!(c < a.size, "coordinate {c} out of axis '{}' (size {})", a.name, a.size);
+                c * s
+            })
+            .sum()
+    }
+
+    /// Global rank at the given coordinates.
+    pub fn rank_of(&self, coords: &[usize]) -> usize {
+        self.base + self.offset_of(coords)
+    }
+
+    /// Per-axis coordinates of a global rank.
+    pub fn coords_of_rank(&self, rank: usize) -> Vec<usize> {
+        assert!(rank >= self.base, "rank {rank} below mesh base {}", self.base);
+        self.coords_of(rank - self.base)
+    }
+
+    /// The global ranks obtained by varying the named axis over its full
+    /// size while pinning every other coordinate from `at` (the coordinate
+    /// `at` supplies for the varied axis itself is ignored). Ordered
+    /// ascending along the axis — the canonical member order of a
+    /// collective group over that axis.
+    pub fn fiber_ranks(&self, axis: &str, at: &[usize]) -> Vec<usize> {
+        let idx = self.axis_index(axis);
+        let mut coords = at.to_vec();
+        (0..self.axes[idx].size)
+            .map(|c| {
+                coords[idx] = c;
+                self.rank_of(&coords)
+            })
+            .collect()
+    }
+
+    /// Builds the calling rank's [`CommGroup`] over its fiber along the
+    /// named axis (the rank's own coordinates pin the other axes).
+    pub fn fiber_group(&self, ctx: &RankCtx, tag: &str, axis: &str) -> CommGroup {
+        let coords = self.coords_of_rank(ctx.rank);
+        ctx.group(tag, self.fiber_ranks(axis, &coords))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qqd(q: usize, d: usize) -> Mesh {
+        Mesh::new(
+            0,
+            vec![MeshAxis::new("depth", d), MeshAxis::new("row", q), MeshAxis::new("col", q)],
+        )
+    }
+
+    #[test]
+    fn strides_are_row_major_with_last_axis_contiguous() {
+        let m = qqd(4, 2);
+        assert_eq!(m.stride("col"), 1);
+        assert_eq!(m.stride("row"), 4);
+        assert_eq!(m.stride("depth"), 16);
+        assert_eq!(m.size(), 32);
+    }
+
+    #[test]
+    fn coords_round_trip_over_the_whole_mesh() {
+        let m = qqd(3, 2);
+        for off in 0..m.size() {
+            assert_eq!(m.offset_of(&m.coords_of(off)), off);
+        }
+    }
+
+    #[test]
+    fn layer_major_literals_are_reproduced() {
+        // rank = base + k·q² + i·q + j, with coords listed [k, i, j].
+        let m = qqd(4, 2);
+        for k in 0..2 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    assert_eq!(m.offset_of(&[k, i, j]), k * 16 + i * 4 + j);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fibers_vary_one_axis_in_ascending_order() {
+        let m = qqd(2, 2);
+        // At (k=1, i=0, j=1): the "col" fiber spans j, the "row" fiber i,
+        // the "depth" fiber k.
+        assert_eq!(m.fiber_ranks("col", &[1, 0, 1]), vec![4, 5]);
+        assert_eq!(m.fiber_ranks("row", &[1, 0, 1]), vec![5, 7]);
+        assert_eq!(m.fiber_ranks("depth", &[1, 0, 1]), vec![1, 5]);
+    }
+
+    #[test]
+    fn base_offsets_all_ranks() {
+        let m = Mesh::new(10, vec![MeshAxis::new("tp", 4)]);
+        assert_eq!(m.rank_of(&[2]), 12);
+        assert_eq!(m.coords_of_rank(13), vec![3]);
+        assert_eq!(m.fiber_ranks("tp", &[0]), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate mesh axis name")]
+    fn duplicate_axis_names_panic() {
+        Mesh::new(0, vec![MeshAxis::new("x", 2), MeshAxis::new("x", 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no axis 'diag'")]
+    fn unknown_axis_panics_with_known_names() {
+        qqd(2, 1).fiber_ranks("diag", &[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of axis 'row'")]
+    fn out_of_range_coordinate_panics() {
+        qqd(2, 1).offset_of(&[0, 2, 0]);
+    }
+}

@@ -72,18 +72,6 @@ impl StatsCollector {
         inner.entry(op).or_default().hidden_time += seconds;
     }
 
-    /// Deprecated name for [`StatsCollector::charge_copy`].
-    #[deprecated(note = "use `charge_copy`")]
-    pub fn record_copy(&self, op: CollectiveOp, bytes: u64) {
-        self.charge_copy(op, bytes);
-    }
-
-    /// Deprecated name for [`StatsCollector::charge_hidden`].
-    #[deprecated(note = "use `charge_hidden`")]
-    pub fn record_hidden(&self, op: CollectiveOp, seconds: f64) {
-        self.charge_hidden(op, seconds);
-    }
-
     /// Snapshot of all op totals.
     pub fn snapshot(&self) -> CommStats {
         CommStats { per_op: self.inner.lock().unwrap_or_else(PoisonError::into_inner).clone() }

@@ -6,9 +6,17 @@
 //! arranges experiments "by setting the size [q, q, d] where q² is a
 //! multiple of 4" so that Tesseract's depth communication stays on the
 //! faster links.
+//!
+//! Beyond classifying single links, the topology can summarize how a whole
+//! group of ranks sits relative to node boundaries ([`Topology::placement`]):
+//! how many nodes it spans and how many members share the fullest node. The
+//! two-level collective cost model
+//! ([`crate::cost::CostParams::phased_collective_time`]) is driven entirely
+//! by that summary.
 
-/// Kind of interconnect between two ranks.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Kind of interconnect between two ranks. Ordered by slowness: `Local <
+/// NvLink < InfiniBand`, so the worst link of a set is the `max`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Link {
     /// Same physical GPU (self-communication: free).
     Local,
@@ -18,17 +26,59 @@ pub enum Link {
     InfiniBand,
 }
 
+/// How ranks are physically assigned to nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeArrangement {
+    /// Ranks are packed into fixed-size nodes in rank order
+    /// (`node = rank / gpus_per_node`).
+    Packed {
+        /// GPUs per node (Meluxina: 4).
+        gpus_per_node: usize,
+    },
+    /// Every rank shares one giant node; useful to isolate algorithmic
+    /// volume from placement effects in ablations.
+    SingleNode,
+}
+
 /// Physical arrangement of ranks into nodes.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Topology {
-    /// GPUs per node (Meluxina: 4).
-    pub gpus_per_node: usize,
+    /// Node-assignment rule for every rank.
+    pub arrangement: NodeArrangement,
+}
+
+/// How a group of ranks sits relative to node boundaries: the summary the
+/// two-level cost model needs to decompose a collective into an intra-node
+/// phase and an inter-node phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupPlacement {
+    /// Number of group members.
+    pub members: usize,
+    /// Number of distinct nodes the members occupy.
+    pub nodes: usize,
+    /// Members on the fullest node — the size of the widest intra-node
+    /// phase.
+    pub max_per_node: usize,
+}
+
+impl GroupPlacement {
+    /// True when the whole group fits on one node (or is a singleton).
+    pub fn is_intra_node(&self) -> bool {
+        self.nodes <= 1
+    }
+
+    /// True when at least two members share a node *and* the group spans
+    /// several nodes — the only placements where a two-level schedule can
+    /// beat the flat worst-link charge.
+    pub fn shares_nodes_across(&self) -> bool {
+        self.nodes >= 2 && self.max_per_node >= 2
+    }
 }
 
 impl Topology {
     pub fn new(gpus_per_node: usize) -> Self {
         assert!(gpus_per_node > 0);
-        Self { gpus_per_node }
+        Self { arrangement: NodeArrangement::Packed { gpus_per_node } }
     }
 
     /// The paper's testbed: 4 GPUs per node.
@@ -36,18 +86,16 @@ impl Topology {
         Self::new(4)
     }
 
-    /// A degenerate topology where every rank shares one giant node; useful
-    /// to isolate algorithmic volume from placement effects in ablations.
+    /// A degenerate topology where every rank shares one giant node.
     pub fn single_node() -> Self {
-        Self::new(usize::MAX)
+        Self { arrangement: NodeArrangement::SingleNode }
     }
 
     /// Node index hosting `rank`.
     pub fn node_of(&self, rank: usize) -> usize {
-        if self.gpus_per_node == usize::MAX {
-            0
-        } else {
-            rank / self.gpus_per_node
+        match self.arrangement {
+            NodeArrangement::Packed { gpus_per_node } => rank / gpus_per_node,
+            NodeArrangement::SingleNode => 0,
         }
     }
 
@@ -62,18 +110,40 @@ impl Topology {
         }
     }
 
-    /// Worst (slowest) link appearing among any pair in `ranks`; collective
-    /// cost is dominated by the slowest link the group spans.
+    /// Worst (slowest) link appearing among any pair in `ranks`: a max-fold
+    /// of [`Topology::link_between`] over all pairs. Collective cost on the
+    /// flat (non-hierarchical) model is dominated by this link.
     pub fn worst_link(&self, ranks: &[usize]) -> Link {
-        if ranks.len() <= 1 {
-            return Link::Local;
+        let mut worst = Link::Local;
+        for (idx, &a) in ranks.iter().enumerate() {
+            for &b in &ranks[idx + 1..] {
+                worst = worst.max(self.link_between(a, b));
+                if worst == Link::InfiniBand {
+                    return worst;
+                }
+            }
         }
-        let first_node = self.node_of(ranks[0]);
-        if ranks.iter().all(|&r| self.node_of(r) == first_node) {
-            Link::NvLink
-        } else {
-            Link::InfiniBand
+        worst
+    }
+
+    /// Summarizes how `ranks` are spread over nodes. Duplicate ranks count
+    /// once per occurrence (groups never contain duplicates in practice).
+    pub fn placement(&self, ranks: &[usize]) -> GroupPlacement {
+        let mut node_ids: Vec<usize> = ranks.iter().map(|&r| self.node_of(r)).collect();
+        node_ids.sort_unstable();
+        let mut nodes = 0;
+        let mut max_per_node = 0;
+        let mut i = 0;
+        while i < node_ids.len() {
+            let mut j = i + 1;
+            while j < node_ids.len() && node_ids[j] == node_ids[i] {
+                j += 1;
+            }
+            nodes += 1;
+            max_per_node = max_per_node.max(j - i);
+            i = j;
         }
+        GroupPlacement { members: ranks.len(), nodes, max_per_node }
     }
 }
 
@@ -99,6 +169,12 @@ mod tests {
     }
 
     #[test]
+    fn link_order_tracks_slowness() {
+        assert!(Link::Local < Link::NvLink);
+        assert!(Link::NvLink < Link::InfiniBand);
+    }
+
+    #[test]
     fn worst_link_of_groups() {
         let t = Topology::meluxina();
         assert_eq!(t.worst_link(&[1]), Link::Local);
@@ -108,8 +184,49 @@ mod tests {
     }
 
     #[test]
+    fn worst_link_is_a_pairwise_fold() {
+        let t = Topology::meluxina();
+        // A repeated rank only pairs with itself: the one pair is Local.
+        assert_eq!(t.worst_link(&[3, 3]), Link::Local);
+        // Member order is irrelevant.
+        assert_eq!(t.worst_link(&[5, 0, 2]), Link::InfiniBand);
+        assert_eq!(t.worst_link(&[2, 0, 5]), Link::InfiniBand);
+    }
+
+    #[test]
     fn single_node_never_uses_ib() {
         let t = Topology::single_node();
         assert_eq!(t.worst_link(&[0, 63]), Link::NvLink);
+        assert_eq!(t.arrangement, NodeArrangement::SingleNode);
+    }
+
+    #[test]
+    fn placement_counts_nodes_and_fullest_node() {
+        let t = Topology::meluxina();
+        // One full node.
+        let p = t.placement(&[0, 1, 2, 3]);
+        assert_eq!(p, GroupPlacement { members: 4, nodes: 1, max_per_node: 4 });
+        assert!(p.is_intra_node());
+        assert!(!p.shares_nodes_across());
+        // Two full nodes: the multi-node-with-sharing case.
+        let p = t.placement(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(p, GroupPlacement { members: 8, nodes: 2, max_per_node: 4 });
+        assert!(p.shares_nodes_across());
+        // One rank per node: spread, no sharing.
+        let p = t.placement(&[0, 4, 8, 12]);
+        assert_eq!(p, GroupPlacement { members: 4, nodes: 4, max_per_node: 1 });
+        assert!(!p.is_intra_node());
+        assert!(!p.shares_nodes_across());
+        // Uneven spill: 3 on node 0, 1 on node 1.
+        let p = t.placement(&[1, 2, 3, 4]);
+        assert_eq!(p, GroupPlacement { members: 4, nodes: 2, max_per_node: 3 });
+    }
+
+    #[test]
+    fn placement_on_single_node_topology_is_always_intra() {
+        let t = Topology::single_node();
+        let p = t.placement(&[0, 17, 63]);
+        assert_eq!(p, GroupPlacement { members: 3, nodes: 1, max_per_node: 3 });
+        assert!(p.is_intra_node());
     }
 }

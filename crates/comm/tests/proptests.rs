@@ -62,6 +62,40 @@ proptest! {
         let t = Topology::meluxina();
         prop_assert_eq!(t.link_between(a, b), t.link_between(b, a));
     }
+
+    #[test]
+    fn hierarchical_cost_is_sandwiched_between_nvlink_and_flat_ib(
+        gpus_per_node in 1usize..9,
+        mut ranks in proptest::collection::vec(0usize..128, 32),
+        len in 2usize..32,
+        bytes in 0usize..(1 << 26),
+    ) {
+        // The charged two-level cost can never undercut running the whole
+        // group on one NVLink island, and size-based selection means it can
+        // never exceed the flat single-level charge on the slow fabric.
+        ranks.truncate(len);
+        ranks.sort_unstable();
+        ranks.dedup();
+        if ranks.len() < 2 {
+            // All draws collided; extend to keep the group non-trivial.
+            let next = ranks[0] + 1;
+            ranks.push(next);
+        }
+        let t = Topology::new(gpus_per_node);
+        let placement = t.placement(&ranks);
+        let p = CostParams::a100_cluster();
+        let n = ranks.len();
+        for op in CollectiveOp::ALL {
+            let c = p.phased_collective_time(op, bytes, placement);
+            let nv = p.collective_time(op, n, bytes, Link::NvLink);
+            let ib = p.collective_time(op, n, bytes, Link::InfiniBand);
+            prop_assert!(c.total >= nv, "{op:?} below NVLink bound: {c:?} vs {nv}");
+            prop_assert!(c.total <= ib, "{op:?} above flat IB charge: {c:?} vs {ib}");
+            // The flat field must be exactly the legacy worst-link charge.
+            let flat = p.collective_time(op, n, bytes, t.worst_link(&ranks));
+            prop_assert_eq!(c.flat, flat, "{:?}", op);
+        }
+    }
 }
 
 proptest! {

@@ -1,13 +1,17 @@
 //! The `[q, q, d]` processor grid (paper §3.1, Figure 3).
 //!
-//! `p = q²·d` ranks are arranged as `d` layers of `q×q` meshes. Rank layout
-//! is **layer-major** (`rank = base + k·q² + i·q + j`): each depth layer
-//! occupies consecutive ranks, so with the paper's "q² is a multiple of 4"
-//! arrangement a whole layer packs into nodes and row/column collectives
-//! stay on NVLink wherever possible, while the rarer depth communication
-//! crosses nodes — exactly the placement rationale of §4.
+//! `p = q²·d` ranks are arranged as `d` layers of `q×q` meshes. The layout
+//! is declared as a named-axis [`Mesh`] — axes `[("depth", d), ("row", q),
+//! ("col", q)]`, outermost-first — whose row-major strides reproduce the
+//! paper's **layer-major** numbering (`rank = base + k·q² + i·q + j`): each
+//! depth layer occupies consecutive ranks, so with the paper's "q² is a
+//! multiple of 4" arrangement a whole layer packs into nodes and row/column
+//! collectives stay on NVLink wherever possible, while the rarer depth
+//! communication crosses nodes — exactly the placement rationale of §4.
+//! Coordinates, offsets and the three communication fibers are all derived
+//! from the mesh's axis strides rather than hard-coded literals.
 
-use tesseract_comm::{CommGroup, RankCtx};
+use tesseract_comm::{CommGroup, Mesh, MeshAxis, RankCtx};
 
 /// Shape parameters of a Tesseract arrangement.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -39,19 +43,32 @@ impl GridShape {
         self.d == self.q
     }
 
+    /// The named-axis mesh underlying this grid: `[("depth", d),
+    /// ("row", q), ("col", q)]` over ranks `base..base+q²d`. Row-major
+    /// strides make the layout layer-major (`depth` outermost, `col`
+    /// contiguous).
+    pub fn mesh(&self, base: usize) -> Mesh {
+        Mesh::new(
+            base,
+            vec![
+                MeshAxis::new("depth", self.d),
+                MeshAxis::new("row", self.q),
+                MeshAxis::new("col", self.q),
+            ],
+        )
+    }
+
     /// Grid coordinates `(i, j, k)` of a rank offset within the grid.
     pub fn coords_of(&self, offset: usize) -> (usize, usize, usize) {
         assert!(offset < self.size(), "offset {offset} out of grid {self:?}");
-        let layer = self.q * self.q;
-        let k = offset / layer;
-        let r = offset % layer;
-        (r / self.q, r % self.q, k)
+        let c = self.mesh(0).coords_of(offset);
+        (c[1], c[2], c[0])
     }
 
     /// Rank offset of grid coordinates `(i, j, k)`.
     pub fn offset_of(&self, i: usize, j: usize, k: usize) -> usize {
         assert!(i < self.q && j < self.q && k < self.d, "({i},{j},{k}) out of grid {self:?}");
-        k * self.q * self.q + i * self.q + j
+        self.mesh(0).offset_of(&[k, i, j])
     }
 
     /// The A/C-matrix row-block index `h = i + k·q` owned by `(i, ·, k)`
@@ -68,13 +85,18 @@ pub struct TesseractGrid {
     /// First global rank of this grid (grids can be embedded in a larger
     /// hybrid-parallel world).
     pub base: usize,
+    /// The named-axis mesh the groups below are fibers of.
+    pub mesh: Mesh,
     /// This rank's `(i, j, k)` coordinates.
     pub coords: (usize, usize, usize),
-    /// Peers sharing `(i, k)`, ordered by `j` — SUMMA row broadcasts.
+    /// Peers sharing `(i, k)`, ordered by `j` — SUMMA row broadcasts (the
+    /// fiber along the `"col"` axis).
     pub row: CommGroup,
-    /// Peers sharing `(j, k)`, ordered by `i` — SUMMA column broadcasts.
+    /// Peers sharing `(j, k)`, ordered by `i` — SUMMA column broadcasts
+    /// (the fiber along the `"row"` axis).
     pub col: CommGroup,
-    /// Peers sharing `(i, j)`, ordered by `k` — weight-gradient all-reduce.
+    /// Peers sharing `(i, j)`, ordered by `k` — weight-gradient all-reduce
+    /// (the fiber along the `"depth"` axis).
     pub depth: CommGroup,
 }
 
@@ -89,21 +111,16 @@ impl TesseractGrid {
             ctx.rank,
             base + p
         );
-        let (i, j, k) = shape.coords_of(ctx.rank - base);
-        let row_ranks: Vec<usize> =
-            (0..shape.q).map(|jj| base + shape.offset_of(i, jj, k)).collect();
-        let col_ranks: Vec<usize> =
-            (0..shape.q).map(|ii| base + shape.offset_of(ii, j, k)).collect();
-        let depth_ranks: Vec<usize> =
-            (0..shape.d).map(|kk| base + shape.offset_of(i, j, kk)).collect();
-        Self {
-            shape,
-            base,
-            coords: (i, j, k),
-            row: ctx.group("tess.row", row_ranks),
-            col: ctx.group("tess.col", col_ranks),
-            depth: ctx.group("tess.depth", depth_ranks),
-        }
+        let mesh = shape.mesh(base);
+        let c = mesh.coords_of_rank(ctx.rank);
+        let (k, i, j) = (c[0], c[1], c[2]);
+        // Each comm group varies exactly one named axis: the SUMMA "row"
+        // group broadcasts along columns (j varies), the "col" group along
+        // rows (i varies), the depth group along k.
+        let row = ctx.group("tess.row", mesh.fiber_ranks("col", &c));
+        let col = ctx.group("tess.col", mesh.fiber_ranks("row", &c));
+        let depth = ctx.group("tess.depth", mesh.fiber_ranks("depth", &c));
+        Self { shape, base, mesh, coords: (i, j, k), row, col, depth }
     }
 
     pub fn i(&self) -> usize {

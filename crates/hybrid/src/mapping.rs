@@ -1,13 +1,17 @@
 //! Rank mapping for hybrid parallelism (paper §3.4, Figure 6).
 //!
-//! `total = dp · pp · q²·d` GPUs. Ranks are laid out so that each Tesseract
-//! module ("blocks in the same color" in Figure 6) occupies consecutive
-//! ranks, pipeline stages of one data-parallel replica are adjacent, and
-//! data-parallel replicas are outermost:
+//! `total = dp · pp · q²·d` GPUs, declared as the 5-axis named mesh
+//! `[("dp", dp), ("pp", pp), ("depth", d), ("row", q), ("col", q)]`: each
+//! Tesseract module ("blocks in the same color" in Figure 6) occupies
+//! consecutive ranks, pipeline stages of one data-parallel replica are
+//! adjacent, and data-parallel replicas are outermost — the mesh's
+//! row-major strides reproduce
 //!
 //! `rank = ((dp_idx · pp + pp_idx) · tesseract_size) + tesseract_offset`
+//!
+//! and the gradient all-reduce groups are the fibers along the `"dp"` axis.
 
-use tesseract_comm::{Payload, RankCtx};
+use tesseract_comm::{Mesh, MeshAxis, Payload, RankCtx};
 use tesseract_core::layers::{TesseractTransformerLayer, PARAM_IDS_PER_LAYER};
 use tesseract_core::{GridShape, Sequential, TesseractGrid, TransformerConfig};
 use tesseract_tensor::TensorLike;
@@ -50,28 +54,48 @@ impl HybridShape {
         self.dp * self.pp * self.grid.size()
     }
 
+    /// The named-axis mesh underlying the whole hybrid world: the Tesseract
+    /// axes innermost (so modules are contiguous), `pp` next (stages of one
+    /// replica adjacent), `dp` outermost.
+    pub fn mesh(&self) -> Mesh {
+        Mesh::new(
+            0,
+            vec![
+                MeshAxis::new("dp", self.dp),
+                MeshAxis::new("pp", self.pp),
+                MeshAxis::new("depth", self.grid.d),
+                MeshAxis::new("row", self.grid.q),
+                MeshAxis::new("col", self.grid.q),
+            ],
+        )
+    }
+
     pub fn coords_of(&self, rank: usize) -> HybridCoords {
         assert!(rank < self.total(), "rank {rank} out of hybrid world {self:?}");
-        let ts = self.grid.size();
-        let module = rank / ts;
-        HybridCoords { dp_idx: module / self.pp, pp_idx: module % self.pp, tess_offset: rank % ts }
+        let c = self.mesh().coords_of(rank);
+        HybridCoords {
+            dp_idx: c[0],
+            pp_idx: c[1],
+            tess_offset: self.grid.offset_of(c[3], c[4], c[2]),
+        }
     }
 
     pub fn rank_of(&self, c: HybridCoords) -> usize {
-        ((c.dp_idx * self.pp + c.pp_idx) * self.grid.size()) + c.tess_offset
+        let (i, j, k) = self.grid.coords_of(c.tess_offset);
+        self.mesh().rank_of(&[c.dp_idx, c.pp_idx, k, i, j])
     }
 
     /// First rank of the Tesseract module at `(dp_idx, pp_idx)`.
     pub fn module_base(&self, dp_idx: usize, pp_idx: usize) -> usize {
-        (dp_idx * self.pp + pp_idx) * self.grid.size()
+        self.mesh().rank_of(&[dp_idx, pp_idx, 0, 0, 0])
     }
 
     /// Ranks holding the same Tesseract position across data-parallel
-    /// replicas at one pipeline stage — the gradient all-reduce group.
+    /// replicas at one pipeline stage — the gradient all-reduce group: the
+    /// mesh fiber along the `"dp"` axis.
     pub fn dp_group_ranks(&self, pp_idx: usize, tess_offset: usize) -> Vec<usize> {
-        (0..self.dp)
-            .map(|dp_idx| self.rank_of(HybridCoords { dp_idx, pp_idx, tess_offset }))
-            .collect()
+        let (i, j, k) = self.grid.coords_of(tess_offset);
+        self.mesh().fiber_ranks("dp", &[0, pp_idx, k, i, j])
     }
 
     /// Carves pipeline stage `pp_idx`'s contiguous slice out of the full

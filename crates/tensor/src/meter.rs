@@ -119,24 +119,6 @@ impl Meter {
         self.overlap_hidden_nanos += to_nanos(seconds);
     }
 
-    /// Deprecated name for [`Meter::charge_payload_copy`].
-    #[deprecated(note = "use `charge_payload_copy` (or the `scope` API)")]
-    pub fn record_payload_copy(&mut self, bytes: u64) {
-        self.charge_payload_copy(bytes);
-    }
-
-    /// Deprecated name for [`Meter::charge_comm_wait`].
-    #[deprecated(note = "use `charge_comm_wait` (or the `scope` API)")]
-    pub fn record_comm_wait(&mut self, seconds: f64) {
-        self.charge_comm_wait(seconds);
-    }
-
-    /// Deprecated name for [`Meter::charge_overlap_hidden`].
-    #[deprecated(note = "use `charge_overlap_hidden` (or the `scope` API)")]
-    pub fn record_overlap_hidden(&mut self, seconds: f64) {
-        self.charge_overlap_hidden(seconds);
-    }
-
     /// Merges another meter into this one (e.g. per-layer into per-step).
     pub fn merge(&mut self, other: &Meter) {
         self.flops += other.flops;
@@ -279,22 +261,6 @@ mod tests {
         // 0.1 µs is not exactly representable; rounding keeps it at 100 ns.
         m.charge_comm_wait(1e-7);
         assert_eq!(m.comm_wait_nanos, 100);
-    }
-
-    #[test]
-    fn deprecated_wrappers_charge_identically() {
-        let mut old = Meter::new();
-        #[allow(deprecated)]
-        {
-            old.record_payload_copy(64);
-            old.record_comm_wait(1e-6);
-            old.record_overlap_hidden(2e-6);
-        }
-        let mut new = Meter::new();
-        new.charge_payload_copy(64);
-        new.charge_comm_wait(1e-6);
-        new.charge_overlap_hidden(2e-6);
-        assert_eq!(old, new);
     }
 
     #[test]
