@@ -1,0 +1,195 @@
+//! Validates and exercises the arrangement auto-tuner (`tesseract-plan`).
+//!
+//! Three modes (default: all three, in order):
+//!
+//! - `table1` — hands the planner 64 GPUs and the Table 1 workload
+//!   (batch 16, hidden 3072, heads 64) with the paper's own scheme menu
+//!   (Megatron + Tesseract, no hybrids) and **asserts** it re-derives the
+//!   measured Table 1 winner, `tesseract[4,4,4]`, with no hand-picked grid
+//!   input.
+//! - `table2` — same validation at the Table 2 weak-scaling endpoint: the
+//!   64-GPU `[4,4,4]` row's workload (batch 768, hidden 4096, heads 64);
+//!   the planner must again select `tesseract[4,4,4]` over `[8,8,1]` and
+//!   `megatron[64]`.
+//! - `sweep` — a scale the paper never measured: 128 GPUs (only one
+//!   feasible `d ≤ q` Tesseract grid, `[8,8,2]`), batch 256, hidden 4096,
+//!   heads 128, with the **full** menu including 5-axis hybrids and 4
+//!   microbatches — the mode where signature dedup and analytic pruning
+//!   earn their keep.
+//!
+//! The ranked tables print to stdout and the JSON report (validated with
+//! the in-tree parser before it is written) goes to `--out`
+//! (default `BENCH_plan.json`).
+//!
+//! Run: `cargo run --release -p tesseract-bench --bin plan_sweep -- \
+//!           [--mode table1|table2|sweep|all] [--out BENCH_plan.json]`
+
+use tesseract_bench::timing::paper_config;
+use tesseract_plan::{plan, CandidateMenu, EntryStatus, Plan, PlanRequest};
+
+struct Mode {
+    name: &'static str,
+    /// Label the planner must select, if this mode validates a paper table.
+    expected_winner: Option<&'static str>,
+    request: PlanRequest,
+}
+
+fn modes(which: &str) -> Vec<Mode> {
+    let mut out = Vec::new();
+    if which == "all" || which == "table1" {
+        let mut req = PlanRequest::new(64, paper_config(16, 3072, 64));
+        req.menu = CandidateMenu::paper_schemes();
+        out.push(Mode { name: "table1", expected_winner: Some("tesseract[4,4,4]"), request: req });
+    }
+    if which == "all" || which == "table2" {
+        let mut req = PlanRequest::new(64, paper_config(768, 4096, 64));
+        req.menu = CandidateMenu::paper_schemes();
+        out.push(Mode { name: "table2", expected_winner: Some("tesseract[4,4,4]"), request: req });
+    }
+    if which == "all" || which == "sweep" {
+        let req = PlanRequest::new(128, paper_config(256, 4096, 128));
+        out.push(Mode { name: "sweep", expected_winner: None, request: req });
+    }
+    assert!(!out.is_empty(), "unknown --mode {which:?} (known: table1 table2 sweep all)");
+    out
+}
+
+/// JSON object for one planned mode.
+fn mode_json(mode: &Mode, p: &Plan) -> String {
+    let winner = p.winner().expect("every mode has at least one feasible candidate");
+    let mut j = String::from("    {\n");
+    j.push_str(&format!("      \"mode\": \"{}\",\n", mode.name));
+    j.push_str(&format!("      \"gpus\": {},\n", p.gpus));
+    j.push_str(&format!(
+        "      \"workload\": {{ \"batch\": {}, \"seq\": {}, \"hidden\": {}, \"heads\": {}, \"layers\": {} }},\n",
+        p.cfg.batch, p.cfg.seq, p.cfg.hidden, p.cfg.heads, p.cfg.layers
+    ));
+    j.push_str(&format!("      \"winner\": \"{}\",\n", winner.label));
+    match mode.expected_winner {
+        Some(expected) => {
+            j.push_str(&format!("      \"expected_winner\": \"{expected}\",\n"));
+            j.push_str(&format!("      \"matches_expected\": {},\n", winner.label == expected));
+        }
+        None => {
+            j.push_str("      \"expected_winner\": null,\n");
+            j.push_str("      \"matches_expected\": null,\n");
+        }
+    }
+    j.push_str("      \"candidates\": [\n");
+    let mut first = true;
+    for e in &p.entries {
+        if !first {
+            j.push_str(",\n");
+        }
+        first = false;
+        j.push_str("        { ");
+        j.push_str(&format!("\"arrangement\": \"{}\", ", e.label));
+        j.push_str(&format!("\"signature\": \"{}\", ", e.signature));
+        j.push_str(&format!(
+            "\"analytic_s\": {{ \"compute\": {:.9}, \"comm\": {:.9}, \"total\": {:.9} }}, ",
+            e.analytic.compute_s,
+            e.analytic.comm_s,
+            e.analytic.total_s()
+        ));
+        match (&e.status, &e.dryrun) {
+            (EntryStatus::Ranked(r), Some(d)) => {
+                j.push_str(&format!("\"rank\": {r}, "));
+                j.push_str(&format!(
+                    "\"dryrun\": {{ \"makespan_s\": {:.9}, \"forward_s\": {:.9}, \
+\"backward_s\": {:.9}, \"peak_bytes\": {}, \"hidden_wait_frac\": {:.6}, \
+\"throughput_seq_s\": {:.4} }}",
+                    d.makespan_s,
+                    d.forward_s,
+                    d.backward_s,
+                    d.peak_bytes,
+                    d.hidden_wait_frac,
+                    p.cfg.batch as f64 / d.makespan_s
+                ));
+            }
+            (EntryStatus::PrunedByAnalytic, _) => {
+                j.push_str("\"rank\": null, \"dryrun\": null, \"pruned\": true");
+            }
+            (EntryStatus::Duplicate { of }, _) => {
+                j.push_str(&format!(
+                    "\"rank\": null, \"dryrun\": null, \"duplicate_of\": \"{of}\""
+                ));
+            }
+            _ => unreachable!("ranked entries always carry a dry-run"),
+        }
+        j.push_str(" }");
+    }
+    j.push_str("\n      ],\n");
+    j.push_str("      \"infeasible\": [\n");
+    let mut first = true;
+    for (label, err) in &p.infeasible {
+        if !first {
+            j.push_str(",\n");
+        }
+        first = false;
+        j.push_str(&format!("        {{ \"arrangement\": \"{label}\", \"reason\": \"{err}\" }}"));
+    }
+    j.push_str("\n      ],\n");
+    j.push_str(&format!(
+        "      \"search\": {{ \"feasible\": {}, \"infeasible\": {}, \"analytic_memo_hits\": {}, \
+\"pruned_dryruns\": {}, \"duplicates_collapsed\": {} }}\n",
+        p.entries.len(),
+        p.infeasible.len(),
+        p.analytic_memo_hits,
+        p.pruned_dryruns,
+        p.entries.iter().filter(|e| matches!(e.status, EntryStatus::Duplicate { .. })).count()
+    ));
+    j.push_str("    }");
+    j
+}
+
+fn main() {
+    let mut which = String::from("all");
+    let mut out_path = String::from("BENCH_plan.json");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value")).clone();
+        match arg.as_str() {
+            "--mode" => which = value("--mode"),
+            "--out" => out_path = value("--out"),
+            other => panic!("unknown argument {other:?} (known: --mode --out)"),
+        }
+    }
+
+    let mut sections = Vec::new();
+    for mode in modes(&which) {
+        println!("== mode {} ==", mode.name);
+        let p = plan(&mode.request);
+        print!("{}", p.describe());
+        let winner = p.winner().expect("every mode has at least one feasible candidate");
+        if let Some(expected) = mode.expected_winner {
+            assert_eq!(
+                winner.label, expected,
+                "planner must re-derive the measured {} winner with no hand-picked grid",
+                mode.name
+            );
+            println!("  OK: planner selected {expected} (the measured winner)\n");
+        } else {
+            println!("  selected: {} (scale the paper never measured)\n", winner.label);
+        }
+        sections.push(mode_json(&mode, &p));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"plan_sweep\",\n");
+    json.push_str(
+        "  \"units\": { \"time\": \"simulated seconds (max over ranks)\", \
+\"throughput\": \"sequences per simulated second\" },\n",
+    );
+    json.push_str("  \"modes\": [\n");
+    json.push_str(&sections.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+
+    // The report must round-trip through the in-tree parser before it is
+    // published — a malformed escape or bare NaN fails here, not in CI.
+    tesseract_tensor::trace::json::parse(&json)
+        .unwrap_or_else(|e| panic!("emitted JSON failed to parse: {e}"));
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

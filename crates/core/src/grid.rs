@@ -11,6 +11,7 @@
 //! Coordinates, offsets and the three communication fibers are all derived
 //! from the mesh's axis strides rather than hard-coded literals.
 
+use crate::config::ShapeError;
 use tesseract_comm::{CommGroup, Mesh, MeshAxis, RankCtx};
 
 /// Shape parameters of a Tesseract arrangement.
@@ -23,9 +24,29 @@ pub struct GridShape {
 }
 
 impl GridShape {
+    /// Builds the shape, rejecting degenerate sides instead of panicking —
+    /// the planner enumerates factorizations and needs cheap rejection.
+    pub fn try_new(q: usize, d: usize) -> Result<Self, ShapeError> {
+        if q == 0 || d == 0 {
+            return Err(ShapeError::NonPositive { what: "grid shape" });
+        }
+        Ok(Self { q, d })
+    }
+
     pub fn new(q: usize, d: usize) -> Self {
-        assert!(q >= 1 && d >= 1, "grid shape must be positive");
-        Self { q, d }
+        Self::try_new(q, d).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checks that the grid consumes exactly `world` ranks.
+    pub fn check_world(&self, world: usize) -> Result<(), ShapeError> {
+        if self.size() != world {
+            return Err(ShapeError::Capacity {
+                what: format!("tesseract [{0},{0},{1}]", self.q, self.d),
+                needed: self.size(),
+                available: world,
+            });
+        }
+        Ok(())
     }
 
     /// Total processor count `p = q²·d`.
@@ -145,6 +166,35 @@ impl TesseractGrid {
 mod tests {
     use super::*;
     use tesseract_comm::Cluster;
+
+    #[test]
+    fn try_new_rejects_degenerate_sides_with_the_legacy_text() {
+        assert_eq!(
+            GridShape::try_new(0, 1).unwrap_err().to_string(),
+            "grid shape must be positive"
+        );
+        assert_eq!(
+            GridShape::try_new(2, 0).unwrap_err().to_string(),
+            "grid shape must be positive"
+        );
+        assert_eq!(GridShape::try_new(2, 2), Ok(GridShape { q: 2, d: 2 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid shape must be positive")]
+    fn new_still_panics_on_degenerate_sides() {
+        GridShape::new(0, 3);
+    }
+
+    #[test]
+    fn check_world_reports_capacity_mismatch() {
+        let s = GridShape::new(4, 2);
+        assert_eq!(s.check_world(32), Ok(()));
+        assert_eq!(
+            s.check_world(64).unwrap_err().to_string(),
+            "tesseract [4,4,2] needs 32 ranks but 64 are available"
+        );
+    }
 
     #[test]
     fn coords_round_trip() {

@@ -30,7 +30,7 @@ pub mod mm;
 pub mod module;
 pub mod partition;
 
-pub use config::TransformerConfig;
+pub use config::{ShapeError, TransformerConfig};
 pub use grid::{GridShape, TesseractGrid};
 pub use layers::{
     TesseractAttention, TesseractLayerNorm, TesseractLinear, TesseractMlp, TesseractTransformer,

@@ -41,7 +41,9 @@ impl<T: TensorLike + Payload> HybridTransformer<T> {
         with_bias: bool,
         seed: u64,
     ) -> Self {
-        assert_eq!(ctx.world, shape.total(), "world size must match hybrid shape");
+        shape
+            .check_world(ctx.world)
+            .unwrap_or_else(|e| panic!("world size must match hybrid shape: {e}"));
         let coords = shape.coords_of(ctx.rank);
         let base = shape.module_base(coords.dp_idx, coords.pp_idx);
         let grid = TesseractGrid::new(ctx, shape.grid, base);

@@ -13,7 +13,7 @@
 
 use tesseract_comm::{Mesh, MeshAxis, Payload, RankCtx};
 use tesseract_core::layers::{TesseractTransformerLayer, PARAM_IDS_PER_LAYER};
-use tesseract_core::{GridShape, Sequential, TesseractGrid, TransformerConfig};
+use tesseract_core::{GridShape, Sequential, ShapeError, TesseractGrid, TransformerConfig};
 use tesseract_tensor::TensorLike;
 
 /// Shape of a hybrid dp × pp × Tesseract arrangement.
@@ -38,9 +38,47 @@ pub struct HybridCoords {
 }
 
 impl HybridShape {
+    /// Builds the shape, rejecting degenerate degrees instead of panicking
+    /// (the planner enumerates `dp × pp` factorizations and needs cheap
+    /// rejection).
+    pub fn try_new(dp: usize, pp: usize, grid: GridShape) -> Result<Self, ShapeError> {
+        if dp == 0 || pp == 0 {
+            return Err(ShapeError::NonPositive { what: "hybrid dp and pp" });
+        }
+        Ok(Self { dp, pp, grid })
+    }
+
     pub fn new(dp: usize, pp: usize, grid: GridShape) -> Self {
-        assert!(dp >= 1 && pp >= 1);
-        Self { dp, pp, grid }
+        Self::try_new(dp, pp, grid).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checks that the arrangement consumes exactly `world` ranks.
+    pub fn check_world(&self, world: usize) -> Result<(), ShapeError> {
+        if self.total() != world {
+            return Err(ShapeError::Capacity {
+                what: format!(
+                    "hybrid dp={} x pp={} x [{2},{2},{3}]",
+                    self.dp, self.pp, self.grid.q, self.grid.d
+                ),
+                needed: self.total(),
+                available: world,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks that `pp` evenly carves a `layers`-deep stack and returns the
+    /// per-stage depth.
+    pub fn check_carve(&self, layers: usize) -> Result<usize, ShapeError> {
+        if layers % self.pp != 0 {
+            return Err(ShapeError::Indivisible {
+                what: "layers",
+                value: layers,
+                by: "pp",
+                divisor: self.pp,
+            });
+        }
+        Ok(layers / self.pp)
     }
 
     /// The paper's Figure 6 example: dp = 2, pp = 2, Tesseract `[2, 2, 2]`
@@ -115,8 +153,9 @@ impl HybridShape {
         seed: u64,
     ) -> (Sequential<T>, TransformerConfig) {
         assert!(pp_idx < self.pp, "stage {pp_idx} out of {} stages", self.pp);
-        assert_eq!(cfg.layers % self.pp, 0, "pp must divide the layer count");
-        let layers_per_stage = cfg.layers / self.pp;
+        let layers_per_stage = self
+            .check_carve(cfg.layers)
+            .unwrap_or_else(|e| panic!("pp must divide the layer count: {e}"));
         let stage_cfg = TransformerConfig { layers: layers_per_stage, ..cfg };
         let first = pp_idx * layers_per_stage;
         let mut stage = Sequential::new();
@@ -193,6 +232,23 @@ mod tests {
         let s = HybridShape::figure6(); // module size 8, pp 2.
         assert_eq!(s.dp_group_ranks(0, 3), vec![3, 19]);
         assert_eq!(s.dp_group_ranks(1, 0), vec![8, 24]);
+    }
+
+    #[test]
+    fn try_new_and_checks_report_descriptive_errors() {
+        assert_eq!(
+            HybridShape::try_new(0, 2, GridShape::new(2, 1)).unwrap_err().to_string(),
+            "hybrid dp and pp must be positive"
+        );
+        let s = HybridShape::figure6(); // dp=2, pp=2, [2,2,2] = 32 ranks.
+        assert_eq!(s.check_world(32), Ok(()));
+        assert_eq!(
+            s.check_world(16).unwrap_err().to_string(),
+            "hybrid dp=2 x pp=2 x [2,2,2] needs 32 ranks but 16 are available"
+        );
+        assert_eq!(s.check_carve(8), Ok(4));
+        assert_eq!(s.check_carve(6), Ok(3));
+        assert_eq!(s.check_carve(7).unwrap_err().to_string(), "layers 7 not divisible by pp = 2");
     }
 
     #[test]

@@ -1,0 +1,364 @@
+//! The two-stage arrangement search.
+//!
+//! [`plan`] enumerates every structural candidate for the GPU budget,
+//! rejects infeasible ones with their [`ShapeError`] reason, collapses
+//! canonically-equivalent arrangements onto one signature (memoizing the
+//! analytic score), prices the survivors with the analytic α–β model, keeps
+//! the `dryrun_keep` cheapest, and ranks those by a full ShadowTensor
+//! dry-run on the simulated cluster. The winner is the ranked entry with
+//! the smallest simulated makespan — at a fixed global batch that is also
+//! the throughput (sequences/s) winner, the paper's Table 1/2 metric.
+
+use std::collections::HashMap;
+
+use tesseract_comm::{CostParams, Topology};
+use tesseract_core::{ShapeError, TransformerConfig};
+
+use crate::analytic::{analytic_score, AnalyticScore};
+use crate::candidate::{enumerate, Candidate, CandidateMenu};
+use crate::dryrun::{dry_run, DryRun};
+
+/// Inputs of one planning run.
+#[derive(Clone, Debug)]
+pub struct PlanRequest {
+    /// GPU budget: every candidate must consume exactly this many ranks.
+    pub gpus: usize,
+    /// Workload: `cfg.batch` is the *global* batch (hybrid candidates split
+    /// it over dp replicas and microbatches).
+    pub cfg: TransformerConfig,
+    /// Node topology candidates are placed on.
+    pub topology: Topology,
+    /// Cost constants of the simulated hardware.
+    pub params: CostParams,
+    /// Which candidate families to enumerate.
+    pub menu: CandidateMenu,
+    /// GPipe depth for pipelined hybrids (pp > 1).
+    pub microbatches: usize,
+    /// How many analytic-stage survivors get a dry-run.
+    pub dryrun_keep: usize,
+    /// Collect event traces during the dry-runs (bitwise-invariant).
+    pub trace: bool,
+}
+
+impl PlanRequest {
+    /// Defaults: meluxina topology, A100 cost constants, every candidate
+    /// family, 4 microbatches, 8 dry-run slots, no tracing.
+    pub fn new(gpus: usize, cfg: TransformerConfig) -> Self {
+        Self {
+            gpus,
+            cfg,
+            topology: Topology::meluxina(),
+            params: CostParams::a100_cluster(),
+            menu: CandidateMenu::all(),
+            microbatches: 4,
+            dryrun_keep: 8,
+            trace: false,
+        }
+    }
+}
+
+/// Where a feasible candidate ended up in the search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EntryStatus {
+    /// Dry-run and ranked; 0 is the winner.
+    Ranked(usize),
+    /// Survived feasibility but its analytic score fell outside the
+    /// `dryrun_keep` cheapest — never dry-run.
+    PrunedByAnalytic,
+    /// Canonically equivalent to an earlier candidate (same signature);
+    /// scored once under that entry's label.
+    Duplicate { of: String },
+}
+
+/// One feasible candidate's scores.
+#[derive(Clone, Debug)]
+pub struct PlanEntry {
+    pub candidate: Candidate,
+    pub label: String,
+    pub signature: String,
+    pub analytic: AnalyticScore,
+    /// Present iff `status` is `Ranked`.
+    pub dryrun: Option<DryRun>,
+    pub status: EntryStatus,
+}
+
+impl PlanEntry {
+    /// Paper metric: global sequences per second through one fwd+bwd step
+    /// (present iff the entry was dry-run).
+    pub fn throughput_seq_s(&self, cfg: &TransformerConfig) -> Option<f64> {
+        self.dryrun.map(|d| cfg.batch as f64 / d.makespan_s)
+    }
+}
+
+/// The search result: every feasible candidate with its scores, every
+/// infeasible candidate with its rejection reason, and the search-coverage
+/// counters the CI smoke and the bench JSON surface.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    pub gpus: usize,
+    pub cfg: TransformerConfig,
+    /// Ranked entries first (by rank), then analytic-pruned (cheapest
+    /// first), then duplicates.
+    pub entries: Vec<PlanEntry>,
+    /// `(label, reason)` of every enumerated-but-infeasible candidate.
+    pub infeasible: Vec<(String, ShapeError)>,
+    /// Analytic scores served from the signature memo instead of being
+    /// recomputed (== number of duplicate arrangements collapsed).
+    pub analytic_memo_hits: usize,
+    /// Feasible, non-duplicate candidates that never got a dry-run.
+    pub pruned_dryruns: usize,
+}
+
+impl Plan {
+    /// The winning entry (rank 0), if any candidate was feasible.
+    pub fn winner(&self) -> Option<&PlanEntry> {
+        self.entries.iter().find(|e| e.status == EntryStatus::Ranked(0))
+    }
+
+    /// Renders the ranked table plus coverage counters as plain text.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan for {} GPUs, batch {} seq {} hidden {} heads {} layers {}\n",
+            self.gpus,
+            self.cfg.batch,
+            self.cfg.seq,
+            self.cfg.hidden,
+            self.cfg.heads,
+            self.cfg.layers
+        ));
+        out.push_str(
+            "  rank  arrangement                               analytic(s)  makespan(s)  seq/s      peak(MB)  hidden-wait\n",
+        );
+        for e in &self.entries {
+            match (&e.status, &e.dryrun) {
+                (EntryStatus::Ranked(r), Some(d)) => {
+                    out.push_str(&format!(
+                        "  {:>4}  {:<41} {:>10.4}  {:>10.4}  {:>8.2}  {:>8.1}  {:>10.3}\n",
+                        r,
+                        e.label,
+                        e.analytic.total_s(),
+                        d.makespan_s,
+                        self.cfg.batch as f64 / d.makespan_s,
+                        d.peak_bytes as f64 / 1e6,
+                        d.hidden_wait_frac,
+                    ));
+                }
+                (EntryStatus::PrunedByAnalytic, _) => {
+                    out.push_str(&format!(
+                        "     -  {:<41} {:>10.4}  (pruned by analytic stage)\n",
+                        e.label,
+                        e.analytic.total_s(),
+                    ));
+                }
+                (EntryStatus::Duplicate { of }, _) => {
+                    out.push_str(&format!("     -  {:<41} (duplicate of {of})\n", e.label));
+                }
+                _ => {}
+            }
+        }
+        for (label, err) in &self.infeasible {
+            out.push_str(&format!("     x  {label:<41} infeasible: {err}\n"));
+        }
+        out.push_str(&format!(
+            "  coverage: {} feasible ({} dry-run, {} pruned, {} duplicates collapsed), {} infeasible, {} analytic memo hits\n",
+            self.entries.len(),
+            self.entries.iter().filter(|e| matches!(e.status, EntryStatus::Ranked(_))).count(),
+            self.pruned_dryruns,
+            self.entries.iter().filter(|e| matches!(e.status, EntryStatus::Duplicate { .. })).count(),
+            self.infeasible.len(),
+            self.analytic_memo_hits,
+        ));
+        out
+    }
+}
+
+/// Runs the two-stage search. See the module docs for the pipeline.
+pub fn plan(req: &PlanRequest) -> Plan {
+    let candidates = enumerate(req.gpus, req.menu, req.microbatches);
+
+    // Stage 0: feasibility (Result-based, so rejections carry their reason).
+    let mut feasible: Vec<Candidate> = Vec::new();
+    let mut infeasible: Vec<(String, ShapeError)> = Vec::new();
+    for cand in candidates {
+        match cand.check(&req.cfg, req.gpus) {
+            Ok(()) => feasible.push(cand),
+            Err(e) => infeasible.push((cand.label(), e)),
+        }
+    }
+
+    // Stage 1: analytic scores, memoized by canonical signature. The first
+    // candidate with a signature owns it; later holders are duplicates and
+    // reuse the memoized score.
+    let mut memo: HashMap<String, (usize, AnalyticScore)> = HashMap::new();
+    let mut analytic_memo_hits = 0usize;
+    let mut scored: Vec<PlanEntry> = Vec::new();
+    for cand in feasible {
+        let signature = cand.signature();
+        let (analytic, status) = match memo.get(&signature) {
+            Some(&(owner, score)) => {
+                analytic_memo_hits += 1;
+                (score, EntryStatus::Duplicate { of: scored[owner].label.clone() })
+            }
+            None => {
+                let score = analytic_score(&req.topology, &req.params, &cand, &req.cfg);
+                memo.insert(signature.clone(), (scored.len(), score));
+                (score, EntryStatus::PrunedByAnalytic) // promoted below if kept
+            }
+        };
+        scored.push(PlanEntry {
+            candidate: cand,
+            label: cand.label(),
+            signature,
+            analytic,
+            dryrun: None,
+            status,
+        });
+    }
+
+    // Stage 2: dry-run the `dryrun_keep` analytically cheapest unique
+    // candidates.
+    let mut unique: Vec<usize> = (0..scored.len())
+        .filter(|&i| !matches!(scored[i].status, EntryStatus::Duplicate { .. }))
+        .collect();
+    unique.sort_by(|&a, &b| {
+        scored[a]
+            .analytic
+            .total_s()
+            .partial_cmp(&scored[b].analytic.total_s())
+            .expect("analytic scores are finite")
+            .then(a.cmp(&b))
+    });
+    let keep = req.dryrun_keep.max(1).min(unique.len());
+    let pruned_dryruns = unique.len() - keep;
+    let mut ranked: Vec<(usize, DryRun)> = unique[..keep]
+        .iter()
+        .map(|&i| {
+            let d = dry_run(&req.topology, &req.params, &scored[i].candidate, &req.cfg, req.trace);
+            (i, d)
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        a.1.makespan_s
+            .partial_cmp(&b.1.makespan_s)
+            .expect("makespans are finite")
+            .then(a.0.cmp(&b.0))
+    });
+    for (rank, &(i, d)) in ranked.iter().enumerate() {
+        scored[i].dryrun = Some(d);
+        scored[i].status = EntryStatus::Ranked(rank);
+    }
+
+    // Present ranked entries first, then pruned by ascending analytic cost,
+    // then duplicates.
+    let mut order: Vec<usize> = (0..scored.len()).collect();
+    order.sort_by(|&a, &b| {
+        fn key(e: &PlanEntry) -> (usize, usize) {
+            match e.status {
+                EntryStatus::Ranked(r) => (0, r),
+                EntryStatus::PrunedByAnalytic => (1, 0),
+                EntryStatus::Duplicate { .. } => (2, 0),
+            }
+        }
+        let (ka, kb) = (key(&scored[a]), key(&scored[b]));
+        ka.cmp(&kb)
+            .then(
+                scored[a]
+                    .analytic
+                    .total_s()
+                    .partial_cmp(&scored[b].analytic.total_s())
+                    .expect("analytic scores are finite"),
+            )
+            .then(a.cmp(&b))
+    });
+    let entries: Vec<PlanEntry> = order.into_iter().map(|i| scored[i].clone()).collect();
+
+    Plan { gpus: req.gpus, cfg: req.cfg, entries, infeasible, analytic_memo_hits, pruned_dryruns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tesseract_core::GridShape;
+
+    fn small_cfg() -> TransformerConfig {
+        TransformerConfig {
+            batch: 8,
+            seq: 16,
+            hidden: 64,
+            heads: 8,
+            mlp_ratio: 4,
+            layers: 2,
+            eps: 1e-5,
+        }
+    }
+
+    #[test]
+    fn plan_ranks_and_memoizes_at_8_gpus() {
+        let mut req = PlanRequest::new(8, small_cfg());
+        req.microbatches = 2;
+        let p = plan(&req);
+        let winner = p.winner().expect("some candidate must be feasible");
+        assert!(winner.dryrun.is_some());
+        // The trivial hybrid wrapper of [2,2,2] collapses onto the
+        // Tesseract candidate: at least one memo hit and one duplicate.
+        assert!(p.analytic_memo_hits >= 1, "memo hits: {}", p.analytic_memo_hits);
+        assert!(
+            p.entries.iter().any(|e| matches!(e.status, EntryStatus::Duplicate { .. })),
+            "{}",
+            p.describe()
+        );
+        // Ranks are contiguous from 0.
+        let mut ranks: Vec<usize> = p
+            .entries
+            .iter()
+            .filter_map(|e| match e.status {
+                EntryStatus::Ranked(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..ranks.len()).collect::<Vec<_>>());
+        // Winner has the smallest makespan of all ranked entries.
+        let best = winner.dryrun.unwrap().makespan_s;
+        for e in &p.entries {
+            if let Some(d) = e.dryrun {
+                assert!(d.makespan_s >= best);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_is_logged_when_the_keep_budget_binds() {
+        let mut req = PlanRequest::new(8, small_cfg());
+        req.microbatches = 2;
+        req.dryrun_keep = 2;
+        let p = plan(&req);
+        assert!(p.pruned_dryruns > 0);
+        assert!(p.entries.iter().any(|e| e.status == EntryStatus::PrunedByAnalytic));
+        assert!(p.describe().contains("pruned"));
+    }
+
+    #[test]
+    fn infeasible_candidates_carry_their_reason() {
+        // 12 GPUs: no q²d factorization under d ≤ q except q=2,d=3 (d>q) —
+        // nothing feasible for Tesseract; Megatron fails on heads | p.
+        let req = PlanRequest::new(12, small_cfg());
+        let p = plan(&req);
+        let mega = p
+            .infeasible
+            .iter()
+            .find(|(label, _)| label == "megatron[12]")
+            .expect("megatron[12] must be rejected");
+        assert_eq!(mega.1.to_string(), "heads 8 not divisible by p = 12");
+    }
+
+    #[test]
+    fn tesseract_only_menu_stays_tesseract() {
+        let mut req = PlanRequest::new(8, small_cfg());
+        req.menu = CandidateMenu { megatron: false, tesseract: true, hybrid: false };
+        let p = plan(&req);
+        let w = p.winner().unwrap();
+        assert_eq!(w.candidate, Candidate::Tesseract { grid: GridShape::new(2, 2) });
+    }
+}

@@ -74,4 +74,16 @@ grep -q '"crossover_bytes": [0-9]' target/BENCH_comm.smoke.json \
     || { echo "ci.sh: no hierarchical-vs-flat crossover entry in BENCH_comm"; exit 1; }
 grep -q '"intra_node_hier_exceeds_flat": false' target/BENCH_comm.smoke.json \
     || { echo "ci.sh: hierarchical cost exceeded flat on an intra-node group"; exit 1; }
+
+# plan_sweep asserts internally that the planner re-derives the measured
+# Table 1 winner from topology + workload alone (no hand-picked grid), and
+# round-trips its JSON through the in-tree parser before writing; CI
+# re-checks both facts on the emitted file.
+echo "== plan_sweep smoke (Table 1 winner re-derivation) =="
+cargo run -q --release --offline -p tesseract-bench --bin plan_sweep -- \
+    --mode table1 --out target/BENCH_plan.smoke.json > /dev/null
+grep -q '"winner": "tesseract\[4,4,4\]"' target/BENCH_plan.smoke.json \
+    || { echo "ci.sh: planner did not select the Table 1 winner [4,4,4]"; exit 1; }
+grep -q '"matches_expected": true' target/BENCH_plan.smoke.json \
+    || { echo "ci.sh: plan_sweep winner does not match the measured table"; exit 1; }
 echo "ci.sh: OK"
