@@ -1,0 +1,328 @@
+//! Open-loop serving sweep: throughput and latency percentiles vs offered
+//! load, per Tesseract arrangement, in **simulated** (virtual) seconds.
+//!
+//! Per arrangement the sweep first runs a *calibration flood* (every
+//! request arrives at t≈0) to measure the engine's saturated capacity in
+//! requests per simulated second, then replays the same request mix at
+//! fixed multiples of that capacity under Poisson arrivals. Below the knee
+//! (multiplier < 1) latency is dominated by service time; past it the
+//! open-loop queue grows and the p50/p99 curve bends upward — the shape
+//! `BENCH_serving.json` exists to show.
+//!
+//! Runs use [`ShadowTensor`]: the serving tests pin shadow and dense
+//! backends to bitwise-identical latency results and rank reports, so the
+//! sweep pays for shapes, not floats. The calibration flood of the first
+//! arrangement is re-run with tracing on and exported as a Chrome-trace
+//! JSON of the saturated steady state.
+//!
+//! Every run re-checks the engine's invariants (identical results on all
+//! ranks, meter/engine counter reconciliation, ordered percentiles,
+//! nonzero throughput) and the whole sweep is deterministic: same seed,
+//! same bytes out.
+//!
+//! Run: `cargo run --release -p tesseract-bench --bin serve_sweep -- \
+//!           [--grids 2,1;2,2;4,1] [--requests 48] [--seed 42] \
+//!           [--out BENCH_serving.json] [--trace-out TRACE_serving.json]`
+
+use tesseract_comm::{Cluster, RunOutput};
+use tesseract_core::{GridShape, TransformerConfig};
+use tesseract_serve::{
+    generate, latency_stats, serve_on_cluster, ServeConfig, ServeSummary, TrafficConfig,
+};
+use tesseract_tensor::trace::{chrome, json};
+use tesseract_tensor::ShadowTensor;
+
+/// Offered load as multiples of the measured saturated capacity; the knee
+/// sits at 1.0 by construction.
+const LOAD_MULTIPLIERS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Arrival rate that floods every request in at t≈0 for calibration.
+const FLOOD_RATE: f64 = 1e12;
+
+/// The served model: GPT-2-small-ish widths, scaled to stay honest on the
+/// meter while every arrangement in the default sweep divides it evenly.
+fn model() -> TransformerConfig {
+    TransformerConfig {
+        batch: 16,
+        seq: 64,
+        hidden: 256,
+        heads: 8,
+        mlp_ratio: 4,
+        layers: 4,
+        eps: 1e-5,
+    }
+}
+
+fn serve_cfg(seed: u64) -> ServeConfig {
+    ServeConfig {
+        model: model(),
+        with_bias: true,
+        seed,
+        max_batch_tokens: 128,
+        max_lane_requests: 8,
+    }
+}
+
+fn traffic_cfg(rate: f64, requests: usize, seed: u64) -> TrafficConfig {
+    TrafficConfig { rate, requests, prompt_lens: (16, 64), output_lens: (4, 16), seed }
+}
+
+/// One load point's measurements (virtual seconds / per-virtual-second).
+struct Point {
+    multiplier: f64,
+    offered_rps: f64,
+    achieved_rps: f64,
+    tokens_per_s: f64,
+    p50_s: f64,
+    p99_s: f64,
+    ttft_p50_s: f64,
+    makespan_s: f64,
+    kv_peak_bytes: u64,
+}
+
+struct ArrangementCurve {
+    shape: GridShape,
+    capacity_rps: f64,
+    points: Vec<Point>,
+}
+
+/// Runs one serving experiment and re-checks the engine invariants the
+/// test suite pins, so a sweep can never silently report nonsense.
+fn run_point(
+    shape: GridShape,
+    cfg: &ServeConfig,
+    traffic_rate: f64,
+    requests: usize,
+    traffic_seed: u64,
+) -> (RunOutput<ServeSummary>, Vec<f64>) {
+    let traffic = generate(&traffic_cfg(traffic_rate, requests, traffic_seed));
+    let out = serve_on_cluster::<ShadowTensor>(&Cluster::a100(shape.size()), shape, cfg, &traffic);
+    let head = &out.results[0];
+    assert_eq!(head.results.len(), requests, "every request must complete");
+    for (summary, report) in out.results.iter().zip(&out.reports) {
+        assert_eq!(summary.results, head.results, "ranks must agree on results");
+        assert_eq!(report.prefill_steps, summary.prefill_steps, "prefill counters reconcile");
+        assert_eq!(report.decode_steps, summary.decode_steps, "decode counters reconcile");
+        assert_eq!(report.kv_cache_bytes_peak, summary.kv_peak_bytes, "KV peaks reconcile");
+    }
+    let latencies: Vec<f64> = head.results.iter().map(|r| r.latency()).collect();
+    (out, latencies)
+}
+
+fn sweep_arrangement(shape: GridShape, requests: usize, seed: u64) -> ArrangementCurve {
+    let cfg = serve_cfg(seed);
+    let traffic_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ shape.size() as u64;
+
+    // Calibration: all-at-once arrivals measure the saturated service rate.
+    let (flood, _) = run_point(shape, &cfg, FLOOD_RATE, requests, traffic_seed);
+    let capacity_rps = requests as f64 / flood.makespan();
+    assert!(capacity_rps > 0.0 && capacity_rps.is_finite());
+
+    let mut points = Vec::new();
+    for &mult in &LOAD_MULTIPLIERS {
+        let offered_rps = capacity_rps * mult;
+        let (out, latencies) = run_point(shape, &cfg, offered_rps, requests, traffic_seed);
+        let head = &out.results[0];
+        let stats = latency_stats(latencies);
+        let ttft = latency_stats(head.results.iter().map(|r| r.ttft()).collect());
+        let makespan_s = out.makespan();
+        let tokens: usize = head.results.iter().map(|r| r.output_len).sum();
+        let point = Point {
+            multiplier: mult,
+            offered_rps,
+            achieved_rps: requests as f64 / makespan_s,
+            tokens_per_s: tokens as f64 / makespan_s,
+            p50_s: stats.p50,
+            p99_s: stats.p99,
+            ttft_p50_s: ttft.p50,
+            makespan_s,
+            kv_peak_bytes: out.reports.iter().map(|r| r.kv_cache_bytes_peak).max().unwrap_or(0),
+        };
+        assert!(point.p99_s >= point.p50_s, "percentiles must be ordered");
+        assert!(point.achieved_rps > 0.0, "throughput must be nonzero");
+        points.push(point);
+    }
+    // The open-loop signature: offered load past the knee queues.
+    let (first, last) = (&points[0], &points[points.len() - 1]);
+    assert!(
+        last.p50_s > first.p50_s,
+        "[{q},{q},{d}]: p50 at {}x capacity ({}) must exceed p50 at {}x ({})",
+        last.multiplier,
+        last.p50_s,
+        first.multiplier,
+        first.p50_s,
+        q = shape.q,
+        d = shape.d,
+    );
+    ArrangementCurve { shape, capacity_rps, points }
+}
+
+/// Re-runs the first arrangement's calibration flood with tracing on and
+/// writes the saturated steady state as Chrome-trace JSON (schema-checked
+/// by re-parsing, like `trace_dump`).
+fn write_saturated_trace(path: &str, shape: GridShape, requests: usize, seed: u64) -> usize {
+    let cfg = serve_cfg(seed);
+    let traffic_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ shape.size() as u64;
+    let traffic = generate(&traffic_cfg(FLOOD_RATE, requests, traffic_seed));
+    let cluster = Cluster::a100(shape.size()).with_trace(true);
+    let out = serve_on_cluster::<ShadowTensor>(&cluster, shape, &cfg, &traffic);
+    assert_eq!(out.traces.len(), shape.size(), "one trace per rank");
+    let payload = chrome::chrome_trace_json(&out.traces);
+    let doc = json::parse(&payload)
+        .unwrap_or_else(|e| panic!("{path}: emitted chrome trace does not parse: {e}"));
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .unwrap_or_else(|| panic!("{path}: traceEvents array missing"));
+    assert!(
+        events.iter().any(|e| {
+            e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                && e.get("dur").and_then(|d| d.as_f64()).is_some()
+        }),
+        "{path}: no complete (ph: X) spans emitted"
+    );
+    std::fs::write(path, &payload).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    events.len()
+}
+
+fn main() {
+    let mut grids: Vec<(usize, usize)> = vec![(2, 1), (2, 2), (4, 1)];
+    let mut requests = 48usize;
+    let mut seed = 42u64;
+    let mut out_path = String::from("BENCH_serving.json");
+    let mut trace_path = String::from("TRACE_serving.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value")).clone();
+        match arg.as_str() {
+            "--grids" => {
+                grids = value("--grids")
+                    .split(';')
+                    .map(|pair| {
+                        let mut parts = pair
+                            .split(',')
+                            .map(|s| s.trim().parse::<usize>().expect("--grids wants q,d pairs"));
+                        let q = parts.next().expect("--grids wants q,d pairs");
+                        let d = parts.next().expect("--grids wants q,d pairs");
+                        assert!(parts.next().is_none(), "--grids wants q,d pairs");
+                        (q, d)
+                    })
+                    .collect();
+            }
+            "--requests" => {
+                requests = value("--requests").parse().expect("--requests wants an integer")
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed wants an integer"),
+            "--out" => out_path = value("--out"),
+            "--trace-out" => trace_path = value("--trace-out"),
+            other => panic!(
+                "unknown argument {other:?} (known: --grids --requests --seed --out --trace-out)"
+            ),
+        }
+    }
+    assert!(!grids.is_empty(), "--grids must name at least one arrangement");
+    assert!(requests >= 2, "--requests must be at least 2");
+    let m = model();
+    for &(q, d) in &grids {
+        m.validate_for_grid(q, d);
+    }
+
+    println!(
+        "serve_sweep: {} requests per point, prompts 16-64, outputs 4-16 tokens, \
+loads {LOAD_MULTIPLIERS:?} x measured capacity (virtual seconds)\n",
+        requests
+    );
+
+    let mut curves = Vec::new();
+    for &(q, d) in &grids {
+        let shape = GridShape::new(q, d);
+        let curve = sweep_arrangement(shape, requests, seed);
+        println!(
+            "[{q},{q},{d}] ({} ranks): saturated capacity {:.3} req/s",
+            shape.size(),
+            curve.capacity_rps
+        );
+        println!(
+            "| load | offered (req/s) | achieved (req/s) | tokens/s | p50 (s) | p99 (s) | ttft p50 (s) |"
+        );
+        println!("|---|---|---|---|---|---|---|");
+        for p in &curve.points {
+            println!(
+                "| {:.2}x | {:.3} | {:.3} | {:.3} | {:.6} | {:.6} | {:.6} |",
+                p.multiplier,
+                p.offered_rps,
+                p.achieved_rps,
+                p.tokens_per_s,
+                p.p50_s,
+                p.p99_s,
+                p.ttft_p50_s
+            );
+        }
+        println!();
+        curves.push(curve);
+    }
+
+    // The invariant lines the CI smoke greps; they only print because the
+    // asserts in `sweep_arrangement` already held for every arrangement.
+    println!("invariant ok: p99 >= p50 at every load point");
+    println!("invariant ok: nonzero throughput at every load point");
+    println!("invariant ok: latency grows past the saturation knee");
+
+    let trace_shape = GridShape::new(grids[0].0, grids[0].1);
+    let events = write_saturated_trace(&trace_path, trace_shape, requests, seed);
+    println!(
+        "wrote {trace_path} ({events} trace events, saturated [{q},{q},{d}] steady state)",
+        q = trace_shape.q,
+        d = trace_shape.d
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve_sweep\",\n");
+    out.push_str(
+        "  \"units\": { \"time\": \"simulated seconds\", \
+\"rates\": \"per simulated second\", \"kv_peak\": \"bytes, max over ranks\" },\n",
+    );
+    out.push_str(&format!(
+        "  \"model\": {{ \"hidden\": {}, \"heads\": {}, \"layers\": {}, \"mlp_ratio\": {} }},\n",
+        m.hidden, m.heads, m.layers, m.mlp_ratio
+    ));
+    out.push_str(&format!(
+        "  \"traffic\": {{ \"requests\": {requests}, \"prompt_lens\": [16, 64], \
+\"output_lens\": [4, 16], \"seed\": {seed} }},\n"
+    ));
+    out.push_str("  \"arrangements\": [\n");
+    for (gi, curve) in curves.iter().enumerate() {
+        let (q, d) = (curve.shape.q, curve.shape.d);
+        out.push_str(&format!(
+            "    {{ \"grid\": \"[{q},{q},{d}]\", \"world\": {}, \"capacity_rps\": {:.9},\n",
+            curve.shape.size(),
+            curve.capacity_rps
+        ));
+        out.push_str("      \"points\": [\n");
+        for (pi, p) in curve.points.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"load\": {:.2}, \"offered_rps\": {:.9}, \"achieved_rps\": {:.9}, \
+\"tokens_per_s\": {:.9}, \"p50_s\": {:.9}, \"p99_s\": {:.9}, \"ttft_p50_s\": {:.9}, \
+\"makespan_s\": {:.9}, \"kv_peak_bytes\": {} }}{}\n",
+                p.multiplier,
+                p.offered_rps,
+                p.achieved_rps,
+                p.tokens_per_s,
+                p.p50_s,
+                p.p99_s,
+                p.ttft_p50_s,
+                p.makespan_s,
+                p.kv_peak_bytes,
+                if pi + 1 == curve.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!("    }}{}\n", if gi + 1 == curves.len() { "" } else { "," }));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &out).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

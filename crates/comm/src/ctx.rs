@@ -43,6 +43,10 @@ pub struct RankCtx {
     total_payload_copy_bytes: u64,
     total_comm_wait_nanos: u64,
     total_overlap_hidden_nanos: u64,
+    total_prefill_steps: u64,
+    total_decode_steps: u64,
+    total_kv_cache_bytes_peak: u64,
+    idle_time: f64,
     fabric: Arc<Fabric>,
     stats: Arc<StatsCollector>,
 }
@@ -76,6 +80,10 @@ impl RankCtx {
             total_payload_copy_bytes: 0,
             total_comm_wait_nanos: 0,
             total_overlap_hidden_nanos: 0,
+            total_prefill_steps: 0,
+            total_decode_steps: 0,
+            total_kv_cache_bytes_peak: 0,
+            idle_time: 0.0,
             fabric,
             stats,
         }
@@ -114,6 +122,11 @@ impl RankCtx {
         // the corresponding seconds into `comm_time`.
         self.total_comm_wait_nanos += m.comm_wait_nanos;
         self.total_overlap_hidden_nanos += m.overlap_hidden_nanos;
+        // Serving counters: steps are flows (summed); the KV peak is a
+        // high-water mark (max), matching `Meter::merge`.
+        self.total_prefill_steps += m.prefill_steps;
+        self.total_decode_steps += m.decode_steps;
+        self.total_kv_cache_bytes_peak = self.total_kv_cache_bytes_peak.max(m.kv_cache_bytes_peak);
         if m.flops > 0.0 || m.kernels > 0 {
             let t = self.params.compute_time(m.flops, m.kernels);
             self.clock += t;
@@ -138,6 +151,26 @@ impl RankCtx {
             self.comm_time += new_time - self.clock;
             self.clock = new_time;
         }
+    }
+
+    /// Advances the clock to `until` (virtual seconds), booking the gap as
+    /// idle time — neither compute nor communication. The serving engine
+    /// uses this when no request is runnable and the next event is a
+    /// future arrival: the rank "sleeps" until the traffic wakes it. Any
+    /// pending metered compute is flushed first so the idle window starts
+    /// from an up-to-date clock. A no-op if `until` is in the past.
+    pub fn idle_until(&mut self, until: f64) {
+        self.flush_compute();
+        if until > self.clock {
+            self.idle_time += until - self.clock;
+            self.clock = until;
+        }
+    }
+
+    /// Total simulated seconds this rank has spent idle (via
+    /// [`RankCtx::idle_until`]).
+    pub fn idle_time(&self) -> f64 {
+        self.idle_time
     }
 
     /// The virtual time the clock *will* read once pending compute is
@@ -217,6 +250,10 @@ impl RankCtx {
             payload_copy_bytes: self.total_payload_copy_bytes,
             comm_wait_nanos: self.total_comm_wait_nanos,
             overlap_hidden_nanos: self.total_overlap_hidden_nanos,
+            prefill_steps: self.total_prefill_steps,
+            decode_steps: self.total_decode_steps,
+            kv_cache_bytes_peak: self.total_kv_cache_bytes_peak,
+            idle_time: self.idle_time,
         }
     }
 }
@@ -261,4 +298,17 @@ pub struct RankReport {
     /// Simulated nanoseconds of collective wait hidden under compute by
     /// split-phase overlap (zero on the serial path).
     pub overlap_hidden_nanos: u64,
+    /// Serving prefill steps this rank participated in (zero for training
+    /// runs).
+    pub prefill_steps: u64,
+    /// Serving decode steps this rank participated in (zero for training
+    /// runs).
+    pub decode_steps: u64,
+    /// Peak bytes of KV-cache blocks resident on this rank at any point in
+    /// the run (a high-water mark, not a flow).
+    pub kv_cache_bytes_peak: u64,
+    /// Simulated seconds spent idle waiting for future arrivals (via
+    /// `RankCtx::idle_until`; zero for training runs). Idle time is part
+    /// of `virtual_time` but belongs to neither compute nor comm.
+    pub idle_time: f64,
 }

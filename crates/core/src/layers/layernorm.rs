@@ -30,6 +30,34 @@ impl<T: TensorLike + Payload> TesseractLayerNorm<T> {
     pub fn new(hidden_global: usize, eps: f32) -> Self {
         Self { hidden_global, eps, tape: Tape::new() }
     }
+
+    /// Inference forward: identical statistics and normalization to
+    /// [`Module::forward`] (bitwise — per-row math over the same row-group
+    /// all-reduce), but `&self` and no tape push.
+    pub fn forward_infer(&self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
+        let n = self.hidden_global as f32;
+        assert_eq!(
+            x.cols() * grid.shape.q,
+            self.hidden_global,
+            "layernorm: local width times q must equal global hidden"
+        );
+        let s1 = x.row_sums(&mut ctx.meter);
+        let s2 = x.row_sums_of_squares(&mut ctx.meter);
+        let packed = T::concat_cols(&[s1, s2], &mut ctx.meter);
+        let packed = grid.row.all_reduce_shared(ctx, packed);
+        let s1 = packed.slice_cols(0, 1, &mut ctx.meter);
+        let s2 = packed.slice_cols(1, 2, &mut ctx.meter);
+        let mean = s1.scale(1.0 / n, &mut ctx.meter);
+        let mean_sq = mean.hadamard(&mean, &mut ctx.meter);
+        let var = s2.scale(1.0 / n, &mut ctx.meter).sub(&mean_sq, &mut ctx.meter);
+        let inv_std = var.rsqrt_add(self.eps, &mut ctx.meter);
+        Arc::new(x.sub_colvec(&mean, &mut ctx.meter).mul_colvec(&inv_std, &mut ctx.meter))
+    }
+
+    /// Activations currently queued on the tape (zero outside training).
+    pub fn tape_depth(&self) -> usize {
+        self.tape.depth()
+    }
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractLayerNorm<T> {

@@ -113,6 +113,24 @@ impl<T: TensorLike + Payload> TesseractLinear<T> {
         }
     }
 
+    /// Forward for inference: `Y = X·W (+ bias)` exactly like
+    /// [`Module::forward`] — same Tesseract matmul, same bias broadcast,
+    /// bitwise-identical output — but `&self` and **no tape push**, so
+    /// serving never accumulates activations it will not backpropagate.
+    pub fn forward_infer(&self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
+        let mut y = tesseract_matmul(grid, ctx, x, &self.w);
+        if self.with_bias {
+            let b = grid.col.broadcast_shared(ctx, 0, self.bias.as_ref().map(Arc::clone));
+            y = y.add_rowvec(&b, &mut ctx.meter);
+        }
+        Arc::new(y)
+    }
+
+    /// Activations currently queued on the tape (zero outside training).
+    pub fn tape_depth(&self) -> usize {
+        self.tape.depth()
+    }
+
     /// This rank's weight block (for tests).
     pub fn weight(&self) -> &T {
         &self.w

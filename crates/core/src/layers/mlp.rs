@@ -40,6 +40,18 @@ impl<T: TensorLike + Payload> TesseractMlp<T> {
             tape: Tape::new(),
         }
     }
+
+    /// Inference forward: `fc2(gelu(fc1(x)))` with no tape pushes.
+    pub fn forward_infer(&self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
+        let pre = self.fc1.forward_infer(grid, ctx, x);
+        let act = Arc::new(pre.gelu(&mut ctx.meter));
+        self.fc2.forward_infer(grid, ctx, &act)
+    }
+
+    /// Activations currently queued across this block's tapes.
+    pub fn tape_depth(&self) -> usize {
+        self.tape.depth() + self.fc1.tape_depth() + self.fc2.tape_depth()
+    }
 }
 
 impl<T: TensorLike + Payload> Module<T> for TesseractMlp<T> {

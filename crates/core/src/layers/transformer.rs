@@ -10,6 +10,7 @@ use tesseract_tensor::TensorLike;
 
 use crate::config::TransformerConfig;
 use crate::grid::TesseractGrid;
+use crate::infer::{InferBatch, LayerKv};
 use crate::layers::attention::TesseractAttention;
 use crate::layers::layernorm::TesseractLayerNorm;
 use crate::layers::mlp::TesseractMlp;
@@ -51,6 +52,36 @@ impl<T: TensorLike + Payload> TesseractTransformerLayer<T> {
                 param_id + 4,
             ),
         }
+    }
+
+    /// Inference forward with KV-cached causal attention: the same
+    /// pre-norm residual wiring as [`Module::forward`], no tape pushes.
+    /// `layer_idx` selects this layer's [`LayerKv`] slice out of each
+    /// request's cache in `batch`.
+    pub fn forward_infer(
+        &self,
+        grid: &TesseractGrid,
+        ctx: &mut RankCtx,
+        x: &Arc<T>,
+        layer_idx: usize,
+        batch: &mut InferBatch<T>,
+    ) -> Arc<T> {
+        let a = self.ln1.forward_infer(grid, ctx, x);
+        let kvs: Vec<&mut LayerKv<T>> =
+            batch.kvs.iter_mut().map(|rk| &mut rk.layers[layer_idx]).collect();
+        let b = self.attn.forward_infer(grid, ctx, &a, &batch.new_rows, kvs);
+        let x1 = Arc::new(x.add(&b, &mut ctx.meter));
+        let c = self.ln2.forward_infer(grid, ctx, &x1);
+        let d = self.mlp.forward_infer(grid, ctx, &c);
+        Arc::new(x1.add(&d, &mut ctx.meter))
+    }
+
+    /// Activations currently queued across this layer's tapes.
+    pub fn tape_depth(&self) -> usize {
+        self.ln1.tape_depth()
+            + self.attn.tape_depth()
+            + self.ln2.tape_depth()
+            + self.mlp.tape_depth()
     }
 }
 

@@ -15,6 +15,9 @@
 //!   container pipeline stages and layer lists are built from.
 //! * [`layers`] — the Tesseract Transformer of §3.2: parallel linear, MLP,
 //!   multi-head attention, distributed layer norm, residual blocks.
+//! * [`infer`] — the forward-only serving path: per-request KV caches
+//!   sharded with the `[q, q, d]` layout and a no-tape `forward_infer`
+//!   stack with causal KV-cached attention.
 //! * [`analysis`] — closed-form communication/memory formulas (Eq. 7–12 and
 //!   the §1/§3.1 transmission-count claims).
 //!
@@ -25,6 +28,7 @@
 pub mod analysis;
 pub mod config;
 pub mod grid;
+pub mod infer;
 pub mod layers;
 pub mod mm;
 pub mod module;
@@ -32,6 +36,7 @@ pub mod partition;
 
 pub use config::{ShapeError, TransformerConfig};
 pub use grid::{GridShape, TesseractGrid};
+pub use infer::{HeadKv, InferBatch, InferModel, LayerKv, RequestKv};
 pub use layers::{
     TesseractAttention, TesseractLayerNorm, TesseractLinear, TesseractMlp, TesseractTransformer,
     TesseractTransformerLayer,

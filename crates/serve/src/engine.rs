@@ -1,0 +1,486 @@
+//! The continuous-batching serving engine.
+//!
+//! ## Request lifecycle
+//!
+//! `Pending → Active(unprefilled) → Active(decoding) → Done`. A request is
+//! assigned to one `(i, k)` **lane** (round-robin by id over the `q·d` row
+//! -block owners); the `q` ranks of that lane's row fiber hold its KV cache
+//! and activations, sharded by heads/columns exactly like training. At
+//! every step boundary the scheduler may **admit** newly-arrived requests
+//! (up to `max_lane_requests` concurrent per lane) and **evicts** finished
+//! ones, freeing their KV immediately — batch membership changes at step
+//! granularity, never mid-request-blocking, which is what keeps the
+//! cluster saturated under open-loop load.
+//!
+//! ## Batching policy
+//!
+//! Prefill and decode are batched separately (their row shapes differ by
+//! orders of magnitude): a lane with any unprefilled admissions runs a
+//! **prefill step** over as many of them as fit `max_batch_tokens`
+//! (prefill-priority — time-to-first-token is the latency term admission
+//! can actually help); otherwise it runs a **decode step** advancing up to
+//! `max_batch_tokens` active requests by one token each.
+//!
+//! ## SPMD determinism
+//!
+//! Every rank mirrors the *metadata* scheduler for all lanes (arrivals and
+//! lengths are in the shared traffic trace; generated token values never
+//! influence scheduling). Each step begins with a world barrier, so
+//! `ctx.clock()` is bitwise identical on every rank when decisions are
+//! taken — all ranks compute the same global plan and execute the same
+//! collective sequence, while only touching tensors for their own lane.
+//! Lanes with nothing runnable step a zero-row batch to stay in lockstep;
+//! when *no* lane is runnable, every rank `idle_until` the next arrival.
+//! Latencies are measured on the virtual clock at these synchronized
+//! barriers, which makes whole runs — results, reports, traces —
+//! reproducible byte for byte.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tesseract_comm::{Cluster, Payload, RankCtx, RunOutput};
+use tesseract_core::TransformerConfig;
+use tesseract_core::{GridShape, InferBatch, InferModel, RequestKv, TesseractGrid};
+use tesseract_tensor::TensorLike;
+
+use crate::traffic::RequestSpec;
+
+/// Seed salt separating prompt-content streams from weight-init streams.
+const PROMPT_SEED_SALT: u64 = 0x5EED_0F_5E4E_D0D0;
+
+/// Serving-engine parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Model hyperparameters (`batch`/`seq` are training-only and ignored
+    /// here; lengths come from the traffic trace).
+    pub model: TransformerConfig,
+    /// Build layers with biases.
+    pub with_bias: bool,
+    /// Weight-init seed (prompts derive a salted stream from it).
+    pub seed: u64,
+    /// Per-lane token budget per step: caps the rows of one prefill batch
+    /// and the width of one decode batch.
+    pub max_batch_tokens: usize,
+    /// Concurrent requests admitted per lane (KV-slot budget).
+    pub max_lane_requests: usize,
+}
+
+/// Outcome of one request, on the virtual clock. Identical on every rank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequestResult {
+    pub id: usize,
+    /// Lane `(i + k·q)` the request ran on.
+    pub lane: usize,
+    pub arrival: f64,
+    /// Barrier-synchronized time its prefill step completed (the first
+    /// output token exists here).
+    pub first_token_time: f64,
+    /// Barrier-synchronized time its last token completed.
+    pub finish_time: f64,
+    pub prompt_len: usize,
+    pub output_len: usize,
+}
+
+impl RequestResult {
+    /// End-to-end completion latency.
+    pub fn latency(&self) -> f64 {
+        self.finish_time - self.arrival
+    }
+
+    /// Time to first token.
+    pub fn ttft(&self) -> f64 {
+        self.first_token_time - self.arrival
+    }
+}
+
+/// Per-rank outcome of a serving run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeSummary {
+    /// All requests, id-ordered — identical on every rank by construction.
+    pub results: Vec<RequestResult>,
+    /// Prefill steps this rank's lane executed (mirrors `Meter`).
+    pub prefill_steps: u64,
+    /// Decode steps this rank's lane executed (mirrors `Meter`).
+    pub decode_steps: u64,
+    /// This rank's KV-cache high-water mark in bytes (mirrors `Meter`).
+    pub kv_peak_bytes: u64,
+    /// Global step-boundary count (barriers with at least one busy lane).
+    pub steps_total: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Metadata scheduler (mirrored on every rank)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ReqState {
+    Pending,
+    Active { prefilled: bool, generated: usize },
+    Done,
+}
+
+/// One lane's share of a step.
+#[derive(Clone, Debug, PartialEq)]
+enum LanePhase {
+    Idle,
+    Prefill(Vec<usize>),
+    Decode(Vec<usize>),
+}
+
+/// A global step decision: one phase per lane plus the requests that will
+/// finish when the step completes.
+#[derive(Clone, Debug)]
+struct StepPlan {
+    lanes: Vec<LanePhase>,
+    finishing: Vec<Vec<usize>>,
+}
+
+enum Decision {
+    AllDone,
+    /// No lane runnable; sleep until this arrival time.
+    IdleUntil(f64),
+    Step(StepPlan),
+}
+
+struct Scheduler {
+    specs: Vec<RequestSpec>,
+    lane_of: Vec<usize>,
+    state: Vec<ReqState>,
+    first_token: Vec<f64>,
+    finish: Vec<f64>,
+    lanes: usize,
+    max_lane_requests: usize,
+    max_batch_tokens: usize,
+    done: usize,
+}
+
+impl Scheduler {
+    fn new(traffic: &[RequestSpec], lanes: usize, cfg: &ServeConfig) -> Self {
+        assert!(cfg.max_batch_tokens >= 1, "max_batch_tokens must be positive");
+        assert!(cfg.max_lane_requests >= 1, "max_lane_requests must be positive");
+        for (i, spec) in traffic.iter().enumerate() {
+            assert_eq!(spec.id, i, "traffic ids must be dense and ordered");
+            assert!(spec.output_len >= 1, "requests must produce at least one token");
+        }
+        assert!(
+            traffic.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "traffic must be arrival-sorted"
+        );
+        Self {
+            lane_of: traffic.iter().map(|r| r.id % lanes).collect(),
+            state: vec![ReqState::Pending; traffic.len()],
+            first_token: vec![0.0; traffic.len()],
+            finish: vec![0.0; traffic.len()],
+            specs: traffic.to_vec(),
+            lanes,
+            max_lane_requests: cfg.max_lane_requests,
+            max_batch_tokens: cfg.max_batch_tokens,
+            done: 0,
+        }
+    }
+
+    /// Admissions + phase choice for every lane at synchronized time
+    /// `now`. Mutates only Pending→Active (admission); step effects apply
+    /// in [`Scheduler::complete`].
+    fn plan(&mut self, now: f64) -> Decision {
+        // Admission: arrival-ordered (traffic order) per lane, bounded by
+        // the lane's free KV slots.
+        let mut active_per_lane = vec![0usize; self.lanes];
+        for id in 0..self.specs.len() {
+            if matches!(self.state[id], ReqState::Active { .. }) {
+                active_per_lane[self.lane_of[id]] += 1;
+            }
+        }
+        for id in 0..self.specs.len() {
+            let lane = self.lane_of[id];
+            if self.state[id] == ReqState::Pending
+                && self.specs[id].arrival <= now
+                && active_per_lane[lane] < self.max_lane_requests
+            {
+                self.state[id] = ReqState::Active { prefilled: false, generated: 0 };
+                active_per_lane[lane] += 1;
+            }
+        }
+
+        // Phase choice per lane: prefill-priority, then budgeted decode.
+        let mut lanes = Vec::with_capacity(self.lanes);
+        let mut finishing = Vec::with_capacity(self.lanes);
+        let mut any_work = false;
+        for lane in 0..self.lanes {
+            let unprefilled: Vec<usize> = (0..self.specs.len())
+                .filter(|&id| {
+                    self.lane_of[id] == lane
+                        && self.state[id] == ReqState::Active { prefilled: false, generated: 0 }
+                })
+                .collect();
+            let (phase, fin) = if !unprefilled.is_empty() {
+                // Greedy prefix under the token budget; the head request
+                // always runs even if its prompt alone exceeds it.
+                let mut batch = Vec::new();
+                let mut tokens = 0usize;
+                for id in unprefilled {
+                    let plen = self.specs[id].prompt_len;
+                    if batch.is_empty() || tokens + plen <= self.max_batch_tokens {
+                        tokens += plen;
+                        batch.push(id);
+                    }
+                }
+                let fin: Vec<usize> =
+                    batch.iter().copied().filter(|&id| self.specs[id].output_len == 1).collect();
+                (LanePhase::Prefill(batch), fin)
+            } else {
+                let batch: Vec<usize> = (0..self.specs.len())
+                    .filter(|&id| {
+                        self.lane_of[id] == lane
+                            && matches!(self.state[id], ReqState::Active { prefilled: true, .. })
+                    })
+                    .take(self.max_batch_tokens)
+                    .collect();
+                if batch.is_empty() {
+                    (LanePhase::Idle, Vec::new())
+                } else {
+                    let fin: Vec<usize> = batch
+                        .iter()
+                        .copied()
+                        .filter(|&id| match self.state[id] {
+                            ReqState::Active { generated, .. } => {
+                                generated + 1 == self.specs[id].output_len
+                            }
+                            _ => unreachable!("decode batch holds active requests"),
+                        })
+                        .collect();
+                    (LanePhase::Decode(batch), fin)
+                }
+            };
+            any_work |= phase != LanePhase::Idle;
+            lanes.push(phase);
+            finishing.push(fin);
+        }
+
+        if any_work {
+            return Decision::Step(StepPlan { lanes, finishing });
+        }
+        if self.done == self.specs.len() {
+            return Decision::AllDone;
+        }
+        let next = self
+            .specs
+            .iter()
+            .zip(&self.state)
+            .filter(|(_, s)| **s == ReqState::Pending)
+            .map(|(r, _)| r.arrival)
+            .fold(f64::INFINITY, f64::min);
+        assert!(next > now, "unadmitted arrival in the past implies a runnable lane");
+        Decision::IdleUntil(next)
+    }
+
+    /// Applies a completed step's effects at synchronized time `now`.
+    fn complete(&mut self, plan: &StepPlan, now: f64) {
+        for lane in 0..self.lanes {
+            match &plan.lanes[lane] {
+                LanePhase::Idle => {}
+                LanePhase::Prefill(ids) => {
+                    for &id in ids {
+                        // The prefill step yields the first output token.
+                        self.first_token[id] = now;
+                        self.state[id] = ReqState::Active { prefilled: true, generated: 1 };
+                    }
+                }
+                LanePhase::Decode(ids) => {
+                    for &id in ids {
+                        match &mut self.state[id] {
+                            ReqState::Active { generated, .. } => *generated += 1,
+                            _ => unreachable!("decode batch holds active requests"),
+                        }
+                    }
+                }
+            }
+            for &id in &plan.finishing[lane] {
+                self.finish[id] = now;
+                self.state[id] = ReqState::Done;
+                self.done += 1;
+            }
+        }
+    }
+
+    fn results(&self) -> Vec<RequestResult> {
+        assert_eq!(self.done, self.specs.len(), "results requested before completion");
+        self.specs
+            .iter()
+            .map(|spec| RequestResult {
+                id: spec.id,
+                lane: self.lane_of[spec.id],
+                arrival: spec.arrival,
+                first_token_time: self.first_token[spec.id],
+                finish_time: self.finish[spec.id],
+                prompt_len: spec.prompt_len,
+                output_len: spec.output_len,
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tensor-side engine (per rank)
+// ---------------------------------------------------------------------------
+
+/// This rank's resident state for one admitted request on its lane.
+struct LaneSlot<T> {
+    kv: Option<RequestKv<T>>,
+    /// Next decode input `[1, h/q]`: the model output row of the request's
+    /// latest token.
+    next_input: Option<T>,
+}
+
+/// Runs the serving engine on one rank (SPMD: call from every rank of the
+/// grid with the same `cfg` and `traffic`). Returns the per-rank summary;
+/// `results` inside it is identical on every rank.
+pub fn run_serve<T: TensorLike + Payload>(
+    ctx: &mut RankCtx,
+    grid: &TesseractGrid,
+    cfg: &ServeConfig,
+    traffic: &[RequestSpec],
+) -> ServeSummary {
+    cfg.model.validate_for_grid(grid.shape.q, grid.shape.d);
+    let model = InferModel::<T>::new(ctx, grid, cfg.model, cfg.with_bias, cfg.seed, 0);
+    let lanes = grid.shape.q * grid.shape.d;
+    let my_lane = grid.a_row_block();
+    let hidden = cfg.model.hidden;
+    let local_h = hidden / grid.shape.q;
+    let col0 = grid.j() * local_h;
+    let prompt_seed = cfg.seed ^ PROMPT_SEED_SALT;
+    let world = ctx.world_group();
+
+    let mut sched = Scheduler::new(traffic, lanes, cfg);
+    let mut slots: BTreeMap<usize, LaneSlot<T>> = BTreeMap::new();
+    let mut prev: Option<StepPlan> = None;
+    let (mut prefill_steps, mut decode_steps, mut steps_total) = (0u64, 0u64, 0u64);
+    let mut kv_peak_bytes = 0u64;
+
+    loop {
+        // Step boundary: synchronize every rank's clock so all mirrored
+        // schedulers decide from the same `now`.
+        world.barrier(ctx);
+        ctx.flush_compute();
+        let now = ctx.clock();
+
+        if let Some(plan) = prev.take() {
+            sched.complete(&plan, now);
+            // Eviction: finished requests leave at step granularity and
+            // their KV blocks drop here.
+            for &id in &plan.finishing[my_lane] {
+                slots.remove(&id);
+            }
+        }
+
+        let plan = match sched.plan(now) {
+            Decision::AllDone => break,
+            Decision::IdleUntil(t) => {
+                // Open-loop lull: every rank sleeps to the same arrival.
+                ctx.idle_until(t);
+                continue;
+            }
+            Decision::Step(plan) => plan,
+        };
+        steps_total += 1;
+
+        // Tensor work for my lane only; other lanes do theirs in parallel.
+        let (ids, is_prefill): (&[usize], bool) = match &plan.lanes[my_lane] {
+            LanePhase::Idle => (&[], false),
+            LanePhase::Prefill(ids) => (ids, true),
+            LanePhase::Decode(ids) => (ids, false),
+        };
+        let mut parts: Vec<T> = Vec::with_capacity(ids.len());
+        let mut new_rows = Vec::with_capacity(ids.len());
+        let mut kvs = Vec::with_capacity(ids.len());
+        for &id in ids {
+            if is_prefill {
+                let plen = sched.specs[id].prompt_len;
+                // The prompt is a deterministic function of (seed, id):
+                // every rank of the lane extracts its own column block of
+                // the same global [plen, h] matrix.
+                parts.push(T::init_xavier_block(
+                    plen,
+                    hidden,
+                    0,
+                    col0,
+                    plen,
+                    local_h,
+                    prompt_seed,
+                    id as u64,
+                ));
+                new_rows.push(plen);
+                kvs.push(model.new_kv(grid));
+            } else {
+                let slot = slots.get_mut(&id).expect("decode before prefill");
+                parts.push(slot.next_input.take().expect("decode input missing"));
+                new_rows.push(1);
+                kvs.push(slot.kv.take().expect("KV missing from slot"));
+            }
+        }
+        let x = Arc::new(if parts.is_empty() {
+            // Empty lane: zero-row block keeps this rank inside every
+            // collective of the step.
+            T::zeros(0, local_h)
+        } else {
+            T::concat_rows(&parts, &mut ctx.meter)
+        });
+        drop(parts);
+
+        let mut batch = InferBatch { new_rows, kvs };
+        let y = model.forward_infer(grid, ctx, &x, &mut batch);
+
+        if !ids.is_empty() {
+            if is_prefill {
+                ctx.meter.charge_prefill_step();
+                prefill_steps += 1;
+            } else {
+                ctx.meter.charge_decode_step();
+                decode_steps += 1;
+            }
+        }
+
+        // Scatter outputs back: the last row of each segment is the next
+        // decode input; caches (now grown) return to their slots.
+        let mut r0 = 0;
+        let kvs_back = std::mem::take(&mut batch.kvs);
+        for (seg, (&id, kv)) in ids.iter().zip(kvs_back).enumerate() {
+            let r1 = r0 + batch.new_rows[seg];
+            let next = y.slice_rows(r1 - 1, r1, &mut ctx.meter);
+            slots.insert(id, LaneSlot { kv: Some(kv), next_input: Some(next) });
+            r0 = r1;
+        }
+
+        // KV high-water mark after the append, before any eviction.
+        let resident: u64 = slots.values().map(|s| s.kv.as_ref().map_or(0, RequestKv::bytes)).sum();
+        ctx.meter.note_kv_cache_bytes(resident);
+        kv_peak_bytes = kv_peak_bytes.max(resident);
+
+        prev = Some(plan);
+    }
+
+    assert!(slots.is_empty(), "all slots evicted at completion");
+    assert_eq!(model.tape_depth(), 0, "inference must never grow a tape");
+    ServeSummary {
+        results: sched.results(),
+        prefill_steps,
+        decode_steps,
+        kv_peak_bytes,
+        steps_total,
+    }
+}
+
+/// Convenience driver: spawns a `[q, q, d]` grid over the whole cluster
+/// and serves `traffic` on it.
+pub fn serve_on_cluster<T: TensorLike + Payload>(
+    cluster: &Cluster,
+    shape: GridShape,
+    cfg: &ServeConfig,
+    traffic: &[RequestSpec],
+) -> RunOutput<ServeSummary> {
+    shape.check_world(cluster.world).unwrap_or_else(|e| panic!("{e}"));
+    cluster.run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        run_serve::<T>(ctx, &grid, cfg, traffic)
+    })
+}

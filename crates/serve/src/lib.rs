@@ -1,0 +1,26 @@
+//! # tesseract-serve
+//!
+//! Batched inference serving on the Tesseract `[q, q, d]` grid (ROADMAP
+//! item 1): a forward-only, KV-cached decode path driven by a
+//! continuous-batching scheduler under synthetic open-loop traffic, all on
+//! the simulated cluster's virtual clock.
+//!
+//! * [`traffic`] — deterministic Poisson arrival traces with mixed
+//!   prompt/output lengths.
+//! * [`engine`] — request lifecycle, per-lane admission/eviction at step
+//!   granularity, prefill/decode batching under a token budget, and the
+//!   SPMD step loop with barrier-synchronized latency accounting.
+//! * [`metrics`] — nearest-rank latency percentiles and summaries.
+//!
+//! Correctness rests on `tesseract_core::infer`: cached decode is bitwise
+//! identical per token to a full-prefix causal recompute (pinned by this
+//! crate's tests), and the whole run — results, rank reports, traces — is
+//! byte-identical across reruns with the same seed.
+
+pub mod engine;
+pub mod metrics;
+pub mod traffic;
+
+pub use engine::{run_serve, serve_on_cluster, RequestResult, ServeConfig, ServeSummary};
+pub use metrics::{latency_stats, percentile, LatencyStats};
+pub use traffic::{generate, RequestSpec, TrafficConfig};

@@ -1,0 +1,82 @@
+//! Latency/throughput summaries for serving runs.
+//!
+//! Percentiles use the nearest-rank definition on the sorted sample set,
+//! which guarantees the monotonicity invariants the CI smoke greps for
+//! (`p99 >= p50 >= min`) and is exact — no interpolation, so reruns of a
+//! deterministic simulation reproduce every digit.
+
+/// Summary statistics over a latency sample set (seconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencyStats {
+    pub count: usize,
+    pub mean: f64,
+    pub p50: f64,
+    pub p99: f64,
+    pub max: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// element such that at least `p`% of the samples are <= it.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "samples must be sorted");
+    let n = sorted.len();
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
+}
+
+/// Computes [`LatencyStats`] from raw (unsorted) samples.
+pub fn latency_stats(mut samples: Vec<f64>) -> LatencyStats {
+    assert!(!samples.is_empty(), "latency stats of empty sample set");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let count = samples.len();
+    let mean = samples.iter().sum::<f64>() / count as f64;
+    LatencyStats {
+        count,
+        mean,
+        p50: percentile(&samples, 50.0),
+        p99: percentile(&samples, 99.0),
+        max: *samples.last().expect("non-empty"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_on_a_known_set() {
+        // Classic nearest-rank example: 10 samples.
+        let s: Vec<f64> = (1..=10).map(|v| v as f64).collect();
+        assert_eq!(percentile(&s, 50.0), 5.0);
+        assert_eq!(percentile(&s, 99.0), 10.0);
+        assert_eq!(percentile(&s, 100.0), 10.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = [3.25];
+        assert_eq!(percentile(&s, 0.0), 3.25);
+        assert_eq!(percentile(&s, 50.0), 3.25);
+        assert_eq!(percentile(&s, 99.0), 3.25);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let stats = latency_stats(vec![4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(stats.count, 5);
+        assert_eq!(stats.mean, 3.0);
+        assert_eq!(stats.p50, 3.0);
+        assert_eq!(stats.p99, 5.0);
+        assert_eq!(stats.max, 5.0);
+        assert!(stats.p99 >= stats.p50);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_samples_panic() {
+        let _ = latency_stats(Vec::new());
+    }
+}

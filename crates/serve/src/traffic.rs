@@ -1,0 +1,125 @@
+//! Synthetic open-loop traffic: Poisson arrivals with mixed prompt and
+//! output lengths, from the in-tree deterministic PRNG.
+//!
+//! "Open-loop" means arrival times are drawn independently of how fast the
+//! server drains them — the generator commits to a timeline up front, so
+//! when the offered load exceeds capacity, queues (and latencies) grow
+//! without bound past the saturation knee. That is the property the
+//! serving sweep is after; closed-loop (wait-for-response) clients would
+//! mask it.
+
+use tesseract_tensor::Xoshiro256StarStar;
+
+/// One request in the synthetic trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RequestSpec {
+    /// Stable id, also the seed stream for the request's prompt content.
+    pub id: usize,
+    /// Arrival time on the virtual clock (seconds since run start).
+    pub arrival: f64,
+    /// Prompt tokens to prefill.
+    pub prompt_len: usize,
+    /// Output tokens to generate (>= 1; the prefill step produces the
+    /// first one, each decode step one more).
+    pub output_len: usize,
+}
+
+impl RequestSpec {
+    /// Total tokens this request pushes through the model
+    /// (prompt + generated-after-prefill).
+    pub fn total_tokens(&self) -> usize {
+        self.prompt_len + self.output_len - 1
+    }
+}
+
+/// Traffic-generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficConfig {
+    /// Offered load in requests per virtual second (Poisson rate λ).
+    pub rate: f64,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// Inclusive prompt-length range, sampled uniformly.
+    pub prompt_lens: (usize, usize),
+    /// Inclusive output-length range, sampled uniformly (min 1).
+    pub output_lens: (usize, usize),
+    /// PRNG seed; equal seeds give byte-identical traces.
+    pub seed: u64,
+}
+
+/// Generates the arrival trace: exponential interarrival gaps
+/// (`-ln(1-u)/λ`) and uniform mixed lengths, all from one deterministic
+/// xoshiro256** stream.
+pub fn generate(cfg: &TrafficConfig) -> Vec<RequestSpec> {
+    assert!(cfg.rate > 0.0, "offered load must be positive");
+    let (p_lo, p_hi) = cfg.prompt_lens;
+    let (o_lo, o_hi) = cfg.output_lens;
+    assert!(p_lo >= 1 && p_lo <= p_hi, "bad prompt length range");
+    assert!(o_lo >= 1 && o_lo <= o_hi, "bad output length range");
+    let mut rng = Xoshiro256StarStar::seed_from_u64(cfg.seed);
+    let mut t = 0.0_f64;
+    (0..cfg.requests)
+        .map(|id| {
+            // u in [0, 1) so 1-u in (0, 1]: ln is finite, gaps positive.
+            let u = rng.next_f64();
+            t += -(1.0 - u).ln() / cfg.rate;
+            let prompt_len = p_lo + rng.next_usize(p_hi - p_lo + 1);
+            let output_len = o_lo + rng.next_usize(o_hi - o_lo + 1);
+            RequestSpec { id, arrival: t, prompt_len, output_len }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rate: f64, seed: u64) -> TrafficConfig {
+        TrafficConfig { rate, requests: 200, prompt_lens: (4, 16), output_lens: (1, 8), seed }
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_lengths_in_range() {
+        let trace = generate(&cfg(10.0, 7));
+        assert_eq!(trace.len(), 200);
+        for w in trace.windows(2) {
+            assert!(w[0].arrival < w[1].arrival, "arrivals must strictly increase");
+        }
+        for r in &trace {
+            assert!((4..=16).contains(&r.prompt_len));
+            assert!((1..=8).contains(&r.output_len));
+            assert!(r.arrival > 0.0);
+            assert_eq!(r.total_tokens(), r.prompt_len + r.output_len - 1);
+        }
+    }
+
+    #[test]
+    fn same_seed_is_bitwise_identical_and_seeds_differ() {
+        let a = generate(&cfg(5.0, 42));
+        let b = generate(&cfg(5.0, 42));
+        assert_eq!(a, b);
+        let c = generate(&cfg(5.0, 43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mean_interarrival_tracks_the_rate() {
+        let rate = 20.0;
+        let trace = generate(&TrafficConfig { requests: 5_000, ..cfg(rate, 3) });
+        let span = trace.last().unwrap().arrival;
+        let mean_gap = span / trace.len() as f64;
+        assert!(
+            (mean_gap - 1.0 / rate).abs() < 0.2 / rate,
+            "mean gap {mean_gap} far from {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn doubling_the_rate_roughly_halves_the_span() {
+        let slow = generate(&TrafficConfig { requests: 2_000, ..cfg(5.0, 9) });
+        let fast = generate(&TrafficConfig { requests: 2_000, ..cfg(10.0, 9) });
+        let ratio = slow.last().unwrap().arrival / fast.last().unwrap().arrival;
+        assert!((ratio - 2.0).abs() < 0.2, "span ratio {ratio} far from 2");
+    }
+}

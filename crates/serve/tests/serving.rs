@@ -1,0 +1,308 @@
+//! Integration tests for the serving path: KV-cache bitwise parity,
+//! no-grad inference, engine determinism, and counter reconciliation.
+
+use std::sync::Arc;
+
+use tesseract_comm::Cluster;
+use tesseract_core::{GridShape, InferBatch, InferModel, TesseractGrid, TransformerConfig};
+use tesseract_serve::{
+    latency_stats, serve_on_cluster, RequestSpec, ServeConfig, ServeSummary, TrafficConfig,
+};
+use tesseract_tensor::{DenseTensor, Matrix, ShadowTensor, TensorLike};
+
+fn test_model() -> TransformerConfig {
+    // batch divides q·d for both [2,2,1] and [2,2,2]; everything small
+    // enough that every GEMM stays on the serial (per-row bitwise) kernel.
+    TransformerConfig { batch: 8, seq: 4, hidden: 16, heads: 4, mlp_ratio: 4, layers: 2, eps: 1e-5 }
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        model: test_model(),
+        with_bias: true,
+        seed: 77,
+        max_batch_tokens: 32,
+        max_lane_requests: 4,
+    }
+}
+
+/// Builds this rank's column block of a deterministic `[rows, h]` prompt.
+fn prompt_block(
+    grid: &TesseractGrid,
+    hidden: usize,
+    rows: usize,
+    seed: u64,
+    stream: u64,
+) -> DenseTensor {
+    let local_h = hidden / grid.shape.q;
+    DenseTensor::init_xavier_block(rows, hidden, 0, grid.j() * local_h, rows, local_h, seed, stream)
+}
+
+/// Decodes `decode_tokens` greedily with the KV cache (one prefill + one
+/// step per token) and, in lockstep, re-runs every prefix from scratch
+/// through the same causal path. Returns (cached, recomputed) per-token
+/// output rows; the two must match bitwise.
+fn cached_vs_recompute(shape: GridShape, prompt_len: usize, decode_tokens: usize, seed: u64) {
+    let cfg = test_model();
+    let out = Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let model = InferModel::<DenseTensor>::new(ctx, &grid, cfg, true, seed, 0);
+        let prompt = prompt_block(&grid, cfg.hidden, prompt_len, seed ^ 0xABCD, 1);
+
+        // Cached path: prefill once, then O(1)-row decode steps.
+        let mut kv = model.new_kv(&grid);
+        let mut cached_rows: Vec<Matrix> = Vec::new();
+        let mut batch = InferBatch { new_rows: vec![prompt_len], kvs: vec![kv] };
+        let y = model.forward_infer(&grid, ctx, &Arc::new(prompt.clone()), &mut batch);
+        // Every prefill output row participates in parity, not just the
+        // last: row t is "the model output for token t".
+        for t in 0..prompt_len {
+            cached_rows.push(y.slice_rows(t, t + 1, &mut ctx.meter).matrix().clone());
+        }
+        let mut next = y.slice_rows(prompt_len - 1, prompt_len, &mut ctx.meter);
+        kv = batch.kvs.pop().expect("cache returned");
+        for _ in 0..decode_tokens {
+            let mut batch = InferBatch { new_rows: vec![1], kvs: vec![kv] };
+            let y = model.forward_infer(&grid, ctx, &Arc::new(next), &mut batch);
+            cached_rows.push(y.matrix().clone());
+            next = y.slice_rows(0, 1, &mut ctx.meter);
+            kv = batch.kvs.pop().expect("cache returned");
+        }
+        assert_eq!(kv.seq_len(), prompt_len + decode_tokens, "cache grew once per token");
+
+        // Recompute path: for every prefix length L, a fresh cache and one
+        // causal prefill over all L rows; its rows must equal the cached
+        // path's rows bitwise.
+        let mut inputs = prompt;
+        let mut recomputed_rows: Vec<Matrix> = Vec::new();
+        for step in 0..=decode_tokens {
+            let rows = inputs.rows();
+            let mut batch = InferBatch { new_rows: vec![rows], kvs: vec![model.new_kv(&grid)] };
+            let y = model.forward_infer(&grid, ctx, &Arc::new(inputs.clone()), &mut batch);
+            if step == 0 {
+                for t in 0..rows {
+                    recomputed_rows.push(y.slice_rows(t, t + 1, &mut ctx.meter).matrix().clone());
+                }
+            } else {
+                recomputed_rows.push(y.slice_rows(rows - 1, rows, &mut ctx.meter).matrix().clone());
+            }
+            if step < decode_tokens {
+                let last = y.slice_rows(rows - 1, rows, &mut ctx.meter);
+                inputs = DenseTensor::concat_rows(&[inputs, last], &mut ctx.meter);
+            }
+        }
+        (cached_rows, recomputed_rows)
+    });
+    for (rank, (cached, recomputed)) in out.results.iter().enumerate() {
+        assert_eq!(cached.len(), prompt_len + decode_tokens);
+        assert_eq!(cached.len(), recomputed.len());
+        for (t, (c, r)) in cached.iter().zip(recomputed).enumerate() {
+            assert_eq!(c, r, "rank {rank}: cached decode diverged from recompute at token {t}");
+        }
+    }
+}
+
+#[test]
+fn cached_decode_matches_recompute_bitwise_on_2x2x1() {
+    cached_vs_recompute(GridShape::new(2, 1), 5, 4, 11);
+}
+
+#[test]
+fn cached_decode_matches_recompute_bitwise_on_2x2x2() {
+    cached_vs_recompute(GridShape::new(2, 2), 6, 3, 13);
+}
+
+#[test]
+fn single_token_prompt_decodes_consistently() {
+    cached_vs_recompute(GridShape::new(2, 1), 1, 5, 17);
+}
+
+#[test]
+fn inference_never_grows_tapes_and_drops_activation_arcs() {
+    let shape = GridShape::new(2, 1);
+    let cfg = test_model();
+    Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let model = InferModel::<DenseTensor>::new(ctx, &grid, cfg, true, 5, 0);
+        let prompt = Arc::new(prompt_block(&grid, cfg.hidden, 4, 99, 0));
+        let weak_prompt = Arc::downgrade(&prompt);
+
+        let mut kv = model.new_kv(&grid);
+        let mut batch = InferBatch { new_rows: vec![4], kvs: vec![kv] };
+        let y = model.forward_infer(&grid, ctx, &prompt, &mut batch);
+        kv = batch.kvs.pop().expect("cache returned");
+        let mut next = y.slice_rows(3, 4, &mut ctx.meter);
+        assert_eq!(model.tape_depth(), 0, "prefill must not tape activations");
+        drop(y);
+        drop(prompt);
+        assert!(
+            weak_prompt.upgrade().is_none(),
+            "prompt activation must be freed right after the prefill step"
+        );
+
+        for _ in 0..3 {
+            let x = Arc::new(next);
+            let weak_x = Arc::downgrade(&x);
+            let mut batch = InferBatch { new_rows: vec![1], kvs: vec![kv] };
+            let y = model.forward_infer(&grid, ctx, &x, &mut batch);
+            kv = batch.kvs.pop().expect("cache returned");
+            next = y.slice_rows(0, 1, &mut ctx.meter);
+            assert_eq!(model.tape_depth(), 0, "decode must not tape activations");
+            drop(y);
+            drop(x);
+            assert!(weak_x.upgrade().is_none(), "decode activations must be freed after each step");
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "backward without forward")]
+fn backward_after_forward_infer_panics_on_the_empty_tape() {
+    use tesseract_core::Module;
+    let shape = GridShape::new(2, 1);
+    let cfg = test_model();
+    Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let mut model = InferModel::<DenseTensor>::new(ctx, &grid, cfg, true, 5, 0);
+        let x = Arc::new(prompt_block(&grid, cfg.hidden, 4, 3, 0));
+        let mut batch = InferBatch { new_rows: vec![4], kvs: vec![model.new_kv(&grid)] };
+        let y = model.forward_infer(&grid, ctx, &x, &mut batch);
+        // forward_infer taped nothing, so backward has nothing to unwind.
+        let _ = model.layers[0].backward(&grid, ctx, &y);
+    });
+}
+
+fn smoke_traffic() -> Vec<RequestSpec> {
+    tesseract_serve::generate(&TrafficConfig {
+        rate: 2_000.0,
+        requests: 10,
+        prompt_lens: (2, 6),
+        output_lens: (1, 4),
+        seed: 21,
+    })
+}
+
+#[test]
+fn engine_serves_all_requests_with_sane_latencies() {
+    let shape = GridShape::new(2, 1);
+    let traffic = smoke_traffic();
+    let out = serve_on_cluster::<DenseTensor>(
+        &Cluster::a100(shape.size()),
+        shape,
+        &serve_cfg(),
+        &traffic,
+    );
+    let summary = &out.results[0];
+    assert_eq!(summary.results.len(), traffic.len());
+    for (r, spec) in summary.results.iter().zip(&traffic) {
+        assert_eq!(r.id, spec.id);
+        assert_eq!(r.prompt_len, spec.prompt_len);
+        assert!(r.first_token_time > r.arrival, "prefill takes simulated time");
+        assert!(r.finish_time >= r.first_token_time);
+        if spec.output_len == 1 {
+            assert_eq!(r.finish_time, r.first_token_time, "single-token requests finish at TTFT");
+        }
+    }
+    let stats = latency_stats(summary.results.iter().map(|r| r.latency()).collect());
+    assert!(stats.p99 >= stats.p50, "percentiles must be ordered");
+    assert!(stats.p50 > 0.0);
+    // Every rank mirrors the same metadata scheduler: identical results.
+    for other in &out.results[1..] {
+        assert_eq!(other.results, summary.results);
+    }
+    assert!(out.makespan() >= summary.results.iter().map(|r| r.finish_time).fold(0.0, f64::max));
+}
+
+#[test]
+fn engine_reruns_are_bitwise_identical() {
+    let shape = GridShape::new(2, 2);
+    let traffic = smoke_traffic();
+    let run = || {
+        serve_on_cluster::<DenseTensor>(&Cluster::a100(shape.size()), shape, &serve_cfg(), &traffic)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.results, b.results, "summaries must be deterministic");
+    assert_eq!(a.reports, b.reports, "rank reports must be deterministic");
+    assert_eq!(a.makespan(), b.makespan());
+}
+
+#[test]
+fn dense_and_shadow_serving_report_identical_virtual_time() {
+    // The shadow backend charges byte-for-byte like the dense one, so the
+    // sweep can run paper-scale serving on shapes alone. Latency results
+    // and every rank report must agree bitwise across backends.
+    let shape = GridShape::new(2, 1);
+    let traffic = smoke_traffic();
+    let cluster = Cluster::a100(shape.size());
+    let dense = serve_on_cluster::<DenseTensor>(&cluster, shape, &serve_cfg(), &traffic);
+    let shadow = serve_on_cluster::<ShadowTensor>(&cluster, shape, &serve_cfg(), &traffic);
+    assert_eq!(dense.results, shadow.results);
+    assert_eq!(dense.reports, shadow.reports);
+}
+
+#[test]
+fn meter_counters_reconcile_with_the_engine_exactly() {
+    let shape = GridShape::new(2, 2);
+    let traffic = smoke_traffic();
+    let out = serve_on_cluster::<DenseTensor>(
+        &Cluster::a100(shape.size()),
+        shape,
+        &serve_cfg(),
+        &traffic,
+    );
+    let mut total_prefills = 0u64;
+    let mut total_decodes = 0u64;
+    for (summary, report) in out.results.iter().zip(&out.reports) {
+        assert_eq!(report.prefill_steps, summary.prefill_steps, "prefill counters reconcile");
+        assert_eq!(report.decode_steps, summary.decode_steps, "decode counters reconcile");
+        assert_eq!(report.kv_cache_bytes_peak, summary.kv_peak_bytes, "KV peaks reconcile");
+        assert!(report.kv_cache_bytes_peak > 0, "serving must cache something");
+        assert!(report.idle_time >= 0.0);
+        total_prefills += report.prefill_steps;
+        total_decodes += report.decode_steps;
+    }
+    // Each lane-step is counted by the q ranks of its row fiber (they all
+    // execute it); fibers of the same lane agree.
+    assert_eq!(total_prefills % (shape.q as u64), 0);
+    assert!(total_prefills > 0);
+    assert!(total_decodes > 0);
+    // Decode outputs exactly the non-prefill tokens, globally.
+    let expected_decode_tokens: usize = traffic.iter().map(|r| r.output_len - 1).sum();
+    let decoded: usize = out.results[0].results.iter().map(|r| r.output_len - 1).sum();
+    assert_eq!(decoded, expected_decode_tokens);
+}
+
+#[test]
+fn offered_load_past_saturation_raises_latency() {
+    // Same work, two arrival rates: a trickle vs everything-at-once. The
+    // open-loop property the sweep reports — queueing delay past the
+    // saturation knee — must be visible even at smoke scale.
+    let shape = GridShape::new(2, 1);
+    let base = TrafficConfig {
+        rate: 1.0,
+        requests: 8,
+        prompt_lens: (3, 3),
+        output_lens: (3, 3),
+        seed: 55,
+    };
+    let run = |rate: f64| -> ServeSummary {
+        let traffic = tesseract_serve::generate(&TrafficConfig { rate, ..base });
+        let out = serve_on_cluster::<ShadowTensor>(
+            &Cluster::a100(shape.size()),
+            shape,
+            &ServeConfig { max_lane_requests: 2, ..serve_cfg() },
+            &traffic,
+        );
+        out.results[0].clone()
+    };
+    let trickle = run(0.5);
+    let flood = run(50_000.0);
+    let p50 = |s: &ServeSummary| latency_stats(s.results.iter().map(|r| r.latency()).collect()).p50;
+    assert!(
+        p50(&flood) > p50(&trickle),
+        "saturated load must queue: p50 {} vs {}",
+        p50(&flood),
+        p50(&trickle)
+    );
+}

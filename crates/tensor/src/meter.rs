@@ -43,6 +43,17 @@ pub struct Meter {
     /// hid under compute (zero on the serial path). Informational: already
     /// excluded from `comm_wait_nanos`, never re-charged.
     pub overlap_hidden_nanos: u64,
+    /// Serving-engine prefill steps this rank participated in (each one
+    /// processes the full prompts of a batch of admitted requests).
+    pub prefill_steps: u64,
+    /// Serving-engine decode steps this rank participated in (each one
+    /// advances every active request by one token).
+    pub decode_steps: u64,
+    /// Peak bytes of KV-cache blocks resident on this rank. Tracked as a
+    /// high-water mark (merge takes the max), never converted into
+    /// simulated time: it is the serving analogue of activation peak
+    /// memory, the binding constraint at long sequence lengths.
+    pub kv_cache_bytes_peak: u64,
 }
 
 /// Converts simulated seconds into the integer-nanosecond resolution the
@@ -119,6 +130,23 @@ impl Meter {
         self.overlap_hidden_nanos += to_nanos(seconds);
     }
 
+    /// Counts one serving prefill step (bookkeeping only, no time).
+    pub fn charge_prefill_step(&mut self) {
+        self.prefill_steps += 1;
+    }
+
+    /// Counts one serving decode step (bookkeeping only, no time).
+    pub fn charge_decode_step(&mut self) {
+        self.decode_steps += 1;
+    }
+
+    /// Raises the KV-cache high-water mark to `bytes` if it is the new
+    /// peak. The serving engine calls this with its current per-rank cache
+    /// footprint after every admit/append/evict transition.
+    pub fn note_kv_cache_bytes(&mut self, bytes: u64) {
+        self.kv_cache_bytes_peak = self.kv_cache_bytes_peak.max(bytes);
+    }
+
     /// Merges another meter into this one (e.g. per-layer into per-step).
     pub fn merge(&mut self, other: &Meter) {
         self.flops += other.flops;
@@ -132,6 +160,11 @@ impl Meter {
         self.payload_copy_bytes += other.payload_copy_bytes;
         self.comm_wait_nanos += other.comm_wait_nanos;
         self.overlap_hidden_nanos += other.overlap_hidden_nanos;
+        self.prefill_steps += other.prefill_steps;
+        self.decode_steps += other.decode_steps;
+        // Peak memory is a high-water mark, not a flow: merging windows
+        // keeps the larger peak instead of summing.
+        self.kv_cache_bytes_peak = self.kv_cache_bytes_peak.max(other.kv_cache_bytes_peak);
     }
 
     /// Returns the current totals and resets the meter, for converting a
@@ -286,6 +319,34 @@ mod tests {
         let events = crate::trace::take();
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].name, "gemm");
+    }
+
+    #[test]
+    fn serving_counters_accumulate_and_merge() {
+        let mut a = Meter::new();
+        a.charge_prefill_step();
+        a.charge_decode_step();
+        a.charge_decode_step();
+        a.note_kv_cache_bytes(1024);
+        a.note_kv_cache_bytes(512); // below the peak: must not lower it
+        assert_eq!((a.prefill_steps, a.decode_steps), (1, 2));
+        assert_eq!(a.kv_cache_bytes_peak, 1024);
+        // Serving counters are pure bookkeeping: no kernels, no flops, no
+        // allocation — they must never turn into simulated time.
+        assert_eq!((a.kernels, a.bytes_allocated), (0, 0));
+        assert_eq!(a.flops, 0.0);
+        let mut b = Meter::new();
+        b.charge_prefill_step();
+        b.charge_decode_step();
+        b.note_kv_cache_bytes(768);
+        a.merge(&b);
+        // Steps are flows (summed); the peak is a high-water mark (max).
+        assert_eq!((a.prefill_steps, a.decode_steps), (2, 3));
+        assert_eq!(a.kv_cache_bytes_peak, 1024);
+        let mut c = Meter::new();
+        c.note_kv_cache_bytes(4096);
+        a.merge(&c);
+        assert_eq!(a.kv_cache_bytes_peak, 4096);
     }
 
     #[test]

@@ -45,20 +45,58 @@ pub fn gelu_backward_matrix(x: &Matrix, dy: &Matrix) -> Matrix {
 /// Numerically-stable softmax over each row.
 pub fn softmax_rows(x: &Matrix) -> Matrix {
     let mut out = x.clone();
-    for i in 0..out.rows() {
-        let row = out.row_mut(i);
-        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0.0;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
-        }
-        let inv = 1.0 / sum;
-        for v in row.iter_mut() {
-            *v *= inv;
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// In-place form of [`softmax_rows`]: mutates `x` instead of allocating a
+/// fresh matrix. [`softmax_rows`] is implemented as clone + this, so the two
+/// are bitwise-identical by construction; decode-time attention uses this
+/// variant to avoid a per-step full-matrix allocation.
+pub fn softmax_rows_inplace(x: &mut Matrix) {
+    for i in 0..x.rows() {
+        softmax_row_prefix(x.row_mut(i));
+    }
+}
+
+/// Softmax over one row slice (the shared kernel of the in-place variants).
+fn softmax_row_prefix(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    let inv = 1.0 / sum;
+    for v in row.iter_mut() {
+        *v *= inv;
+    }
+}
+
+/// Masked in-place row softmax: row `i` is softmaxed over its first
+/// `limits[i]` entries only; the remaining entries are zeroed (they carry no
+/// probability mass). This is the causal-attention kernel — during prefill,
+/// token `t` of a request may only attend to positions `0..=t`, so
+/// `limits[t] = cache_len + t + 1`.
+///
+/// Bitwise contract: row `i` of the result equals
+/// `softmax_rows(x.slice_cols(0, limits[i]))` padded with zeros — the masked
+/// path runs the exact same max/exp/sum/scale sequence over the prefix as
+/// the allocating path does over a sliced row (tested in this module).
+pub fn softmax_rows_masked_inplace(x: &mut Matrix, limits: &[usize]) {
+    assert_eq!(x.rows(), limits.len(), "softmax mask: one limit per row");
+    let cols = x.cols();
+    for (i, &limit) in limits.iter().enumerate() {
+        assert!(limit <= cols, "softmax mask: limit {limit} exceeds {cols} columns");
+        let row = x.row_mut(i);
+        softmax_row_prefix(&mut row[..limit]);
+        for v in &mut row[limit..] {
+            *v = 0.0;
         }
     }
-    out
 }
 
 /// Softmax backward given the forward output `y` and upstream gradient `dy`:
@@ -206,6 +244,47 @@ mod tests {
             assert!((s - 1.0).abs() < 1e-5);
             assert!(y.row(i).iter().all(|&v| v > 0.0));
         }
+    }
+
+    #[test]
+    fn softmax_inplace_is_bitwise_identical_to_allocating() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(21);
+        let x = Matrix::random_uniform(7, 9, -5.0, 5.0, &mut rng);
+        let allocating = softmax_rows(&x);
+        let mut inplace = x.clone();
+        softmax_rows_inplace(&mut inplace);
+        assert_eq!(allocating.data(), inplace.data());
+    }
+
+    #[test]
+    fn masked_softmax_matches_sliced_allocating_path_bitwise() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(22);
+        let x = Matrix::random_uniform(5, 8, -4.0, 4.0, &mut rng);
+        let limits = [1usize, 3, 8, 5, 2];
+        let mut masked = x.clone();
+        softmax_rows_masked_inplace(&mut masked, &limits);
+        for (i, &limit) in limits.iter().enumerate() {
+            // Reference: slice the prefix out, run the allocating softmax.
+            let prefix = softmax_rows(&x.slice_rows(i, i + 1).slice_cols(0, limit));
+            assert_eq!(&masked.row(i)[..limit], prefix.data(), "row {i}");
+            assert!(masked.row(i)[limit..].iter().all(|&v| v == 0.0), "row {i} tail");
+        }
+    }
+
+    #[test]
+    fn masked_softmax_with_full_limits_equals_plain_softmax() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(23);
+        let x = Matrix::random_uniform(4, 6, -3.0, 3.0, &mut rng);
+        let mut masked = x.clone();
+        softmax_rows_masked_inplace(&mut masked, &[6, 6, 6, 6]);
+        assert_eq!(masked.data(), softmax_rows(&x).data());
+    }
+
+    #[test]
+    #[should_panic(expected = "limit 9 exceeds 8 columns")]
+    fn masked_softmax_rejects_out_of_range_limits() {
+        let mut x = Matrix::zeros(1, 8);
+        softmax_rows_masked_inplace(&mut x, &[9]);
     }
 
     #[test]

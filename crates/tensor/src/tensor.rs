@@ -119,6 +119,15 @@ pub trait TensorLike: Clone + Send + Sync + Sized + 'static {
 
     /// Row-wise softmax.
     fn softmax_rows(&self, m: &mut Meter) -> Self;
+    /// In-place row-wise softmax: bitwise-identical values to
+    /// [`TensorLike::softmax_rows`] with no output allocation (the decode
+    /// hot path of KV-cached attention runs this once per step).
+    fn softmax_rows_inplace(&mut self, m: &mut Meter);
+    /// Masked in-place row softmax: row `i` is softmaxed over its first
+    /// `limits[i]` entries and zeroed beyond them — the causal-attention
+    /// kernel (see `nn::softmax_rows_masked_inplace`). Charges flops for
+    /// the active (unmasked) elements only.
+    fn softmax_rows_masked_inplace(&mut self, limits: &[usize], m: &mut Meter);
     /// Softmax backward: `self` is the forward *output* `Y`.
     fn softmax_rows_backward(&self, dy: &Self, m: &mut Meter) -> Self;
 
@@ -377,6 +386,18 @@ impl TensorLike for DenseTensor {
         Self(out)
     }
 
+    fn softmax_rows_inplace(&mut self, m: &mut Meter) {
+        nn::softmax_rows_inplace(&mut self.0);
+        // Same math as the allocating path, but no output allocation.
+        m.record(SOFTMAX_FLOPS_PER_ELEM * self.elem_count() as f64, 0);
+    }
+
+    fn softmax_rows_masked_inplace(&mut self, limits: &[usize], m: &mut Meter) {
+        nn::softmax_rows_masked_inplace(&mut self.0, limits);
+        let active: usize = limits.iter().sum();
+        m.record(SOFTMAX_FLOPS_PER_ELEM * active as f64, 0);
+    }
+
     fn softmax_rows_backward(&self, dy: &Self, m: &mut Meter) -> Self {
         ew_shape_check(self, dy, "softmax_rows_backward");
         let out = nn::softmax_rows_backward(&self.0, &dy.0);
@@ -600,6 +621,21 @@ impl TensorLike for ShadowTensor {
         *self
     }
 
+    fn softmax_rows_inplace(&mut self, m: &mut Meter) {
+        m.record(SOFTMAX_FLOPS_PER_ELEM * self.elem_count() as f64, 0);
+    }
+
+    fn softmax_rows_masked_inplace(&mut self, limits: &[usize], m: &mut Meter) {
+        assert_eq!(self.rows, limits.len(), "softmax mask: one limit per row");
+        assert!(
+            limits.iter().all(|&l| l <= self.cols),
+            "softmax mask: limit exceeds {} columns",
+            self.cols
+        );
+        let active: usize = limits.iter().sum();
+        m.record(SOFTMAX_FLOPS_PER_ELEM * active as f64, 0);
+    }
+
     fn softmax_rows_backward(&self, dy: &Self, m: &mut Meter) -> Self {
         ew_shape_check(self, dy, "softmax_rows_backward");
         m.record(SOFTMAX_FLOPS_PER_ELEM * self.elem_count() as f64, self.byte_size());
@@ -681,6 +717,15 @@ mod tests {
         let gs = cs.gelu(&mut ms);
         let _ = gd.softmax_rows(&mut md);
         let _ = gs.softmax_rows(&mut ms);
+        let mut ipd = cd.clone();
+        let mut ips = cs;
+        ipd.softmax_rows_inplace(&mut md);
+        ips.softmax_rows_inplace(&mut ms);
+        let limits = [1usize, 2, 3, 4, 5, 8];
+        let mut mkd = cd.clone();
+        let mut mks = cs;
+        mkd.softmax_rows_masked_inplace(&limits, &mut md);
+        mks.softmax_rows_masked_inplace(&limits, &mut ms);
         let _ = cd.row_sums(&mut md);
         let _ = cs.row_sums(&mut ms);
         let _ = cd.slice_cols(1, 5, &mut md);

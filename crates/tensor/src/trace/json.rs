@@ -178,12 +178,19 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 }
             }
             _ => {
-                // Re-walk UTF-8: find the full char starting at pos-1.
+                // Take the whole run of plain bytes up to the next quote or
+                // escape and UTF-8-validate it once. (`"` and `\` are ASCII,
+                // so they never appear inside a multi-byte sequence.)
+                // Validating from `start` to end-of-input per character made
+                // this O(n^2) on megabyte documents.
                 let start = *pos - 1;
-                let s = std::str::from_utf8(&b[start..]).map_err(|_| "invalid UTF-8")?;
-                let ch = s.chars().next().ok_or("unexpected end of string")?;
-                out.push(ch);
-                *pos = start + ch.len_utf8();
+                let mut end = *pos;
+                while end < b.len() && b[end] != b'"' && b[end] != b'\\' {
+                    end += 1;
+                }
+                let s = std::str::from_utf8(&b[start..end]).map_err(|_| "invalid UTF-8")?;
+                out.push_str(s);
+                *pos = end;
             }
         }
     }
@@ -219,6 +226,30 @@ mod tests {
         assert!(parse("[1, 2").is_err());
         assert!(parse("\"unterminated").is_err());
         assert!(parse("{\"k\" 1}").is_err());
+    }
+
+    #[test]
+    fn multibyte_runs_and_escapes_interleave() {
+        let v = parse(r#""héllo é wörld → \"q\" done""#).unwrap();
+        assert_eq!(v.as_str(), Some("héllo é wörld → \"q\" done"));
+    }
+
+    #[test]
+    fn megabyte_documents_parse_in_linear_time() {
+        // Regression guard for the O(n^2) string scanner: a ~1 MB array of
+        // string-bearing objects (the Chrome-trace shape) must parse fast
+        // enough that the suite doesn't notice. The quadratic version took
+        // tens of seconds here.
+        let item = r#"{"name": "broadcast_shared", "ph": "X", "dur": 1.5},"#;
+        let mut doc = String::from("[");
+        while doc.len() < 1 << 20 {
+            doc.push_str(item);
+        }
+        doc.push_str(r#"{"name": "end"}]"#);
+        let v = parse(&doc).unwrap();
+        let arr = v.as_array().unwrap();
+        assert!(arr.len() > 10_000);
+        assert_eq!(arr[0].get("name").and_then(Value::as_str), Some("broadcast_shared"));
     }
 
     #[test]

@@ -86,4 +86,28 @@ grep -q '"winner": "tesseract\[4,4,4\]"' target/BENCH_plan.smoke.json \
     || { echo "ci.sh: planner did not select the Table 1 winner [4,4,4]"; exit 1; }
 grep -q '"matches_expected": true' target/BENCH_plan.smoke.json \
     || { echo "ci.sh: plan_sweep winner does not match the measured table"; exit 1; }
+
+# serve_sweep re-checks the serving-engine invariants internally (identical
+# results on every rank, meter/engine counter reconciliation, ordered
+# percentiles, latency growth past the saturation knee) and panics on any
+# violation; CI greps the invariant lines it prints only after those asserts
+# held, then proves the whole open-loop sweep is deterministic by running it
+# twice and byte-comparing both the bench JSON and the Chrome trace.
+echo "== serve_sweep smoke (tiny grid, open-loop determinism) =="
+cargo run -q --release --offline -p tesseract-bench --bin serve_sweep -- \
+    --grids 2,1 --requests 8 --out target/BENCH_serving.smoke.json \
+    --trace-out target/TRACE_serving.smoke.json > target/serve_sweep.smoke.log
+grep -q 'invariant ok: p99 >= p50 at every load point' target/serve_sweep.smoke.log \
+    || { echo "ci.sh: serve_sweep p99 >= p50 invariant missing"; exit 1; }
+grep -q 'invariant ok: nonzero throughput at every load point' target/serve_sweep.smoke.log \
+    || { echo "ci.sh: serve_sweep nonzero-throughput invariant missing"; exit 1; }
+grep -q 'invariant ok: latency grows past the saturation knee' target/serve_sweep.smoke.log \
+    || { echo "ci.sh: serve_sweep saturation-knee invariant missing"; exit 1; }
+cargo run -q --release --offline -p tesseract-bench --bin serve_sweep -- \
+    --grids 2,1 --requests 8 --out target/BENCH_serving.smoke2.json \
+    --trace-out target/TRACE_serving.smoke2.json > /dev/null
+cmp target/BENCH_serving.smoke.json target/BENCH_serving.smoke2.json \
+    || { echo "ci.sh: serve_sweep reruns are not byte-identical"; exit 1; }
+cmp target/TRACE_serving.smoke.json target/TRACE_serving.smoke2.json \
+    || { echo "ci.sh: serve_sweep trace reruns are not byte-identical"; exit 1; }
 echo "ci.sh: OK"
