@@ -8,12 +8,15 @@
 //!
 //! Run: `cargo run --release -p tesseract-bench --bin ablation_depth`
 
-use tesseract_comm::{Cluster, CostParams, Topology};
+use tesseract_comm::{CostParams, RunConfig, Topology};
 use tesseract_core::{GridShape, Module, TesseractGrid, TesseractTransformer, TransformerConfig};
 use tesseract_tensor::ShadowTensor;
 
 fn run(shape: GridShape, cfg: TransformerConfig, params: CostParams) -> (f64, f64, f64) {
-    let cluster = Cluster::custom(shape.size(), Topology::meluxina(), params);
+    let cluster = RunConfig::from_env(shape.size())
+        .with_topology(Topology::meluxina())
+        .with_params(params)
+        .cluster();
     let out = cluster.run(|ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let mut model = TesseractTransformer::<ShadowTensor>::new(ctx, &grid, cfg, true, 0, 0);

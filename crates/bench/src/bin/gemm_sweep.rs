@@ -36,6 +36,7 @@
 
 use std::time::Instant;
 
+use tesseract_comm::RunConfig;
 use tesseract_tensor::matmul::{active_kernel, matmul_blocked_with, matmul_serial, MicroKernel};
 use tesseract_tensor::{max_rel_diff, pool, Matrix, ThreadPool, Xoshiro256StarStar};
 
@@ -144,11 +145,13 @@ fn main() {
         }
     }
 
+    // All TESSERACT_* knobs are parsed and installed by the run
+    // configuration (the single env-read site of the workspace); this bench
+    // runs no cluster, so it installs explicitly before touching the pool.
+    let run_cfg = RunConfig::from_env(1);
+    run_cfg.install();
     let kernel = active_kernel();
-    let kernel_forced = matches!(
-        std::env::var("TESSERACT_KERNEL").as_deref().map(str::trim),
-        Ok("scalar") | Ok("avx2")
-    );
+    let kernel_forced = run_cfg.kernel.is_some();
     let single = ThreadPool::new(1);
     let global = pool::global();
     let host_cpus = pool::host_threads();

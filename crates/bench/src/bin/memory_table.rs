@@ -9,9 +9,10 @@
 use tesseract_baselines::megatron::{MegatronTransformer, MegatronWorld};
 use tesseract_comm::Cluster;
 use tesseract_core::analysis::{memory_megatron, memory_tesseract};
+use tesseract_core::layers::StackOptions;
 use tesseract_core::partition::{a_block_shape, b_block_shape};
 use tesseract_core::{GridShape, Module, TesseractGrid, TesseractTransformer, TransformerConfig};
-use tesseract_tensor::ShadowTensor;
+use tesseract_tensor::{ShadowTensor, TensorLike};
 
 fn main() {
     // The paper's MLP fc1 shapes: A = [b·s, h], B = [h, 4h].
@@ -95,6 +96,42 @@ fn main() {
         });
         let max_bytes = out.reports.iter().map(|r| r.bytes_allocated).max().unwrap();
         println!("| Megatron-LM | {p} | [{p}] | {:.1} |", max_bytes as f64 / 1e6);
+    }
+
+    // Measured peak of *tape-held* activations over a full forward +
+    // backward — the high-water mark training actually pays. Tesseract
+    // already 2-D-shards every wide activation, so sequence parallelism's
+    // incremental saving is the per-row layer-norm stat vectors (exact
+    // bytes, strictly smaller); recomputation (checkpoint every k layers)
+    // drops whole segments and dominates at depth.
+    let stack_cfg = TransformerConfig { layers: 4, ..cfg };
+    println!("\n### measured-peak: per-GPU tape high-water bytes, 4-layer stack fwd+bwd\n");
+    println!("| arrangement | mode | measured-peak bytes/GPU |");
+    println!("|---|---|---|");
+    for (q, d) in [(2usize, 2usize), (4, 4)] {
+        let shape = GridShape::new(q, d);
+        for (mode, opts) in [
+            ("dense", StackOptions::default()),
+            ("sp", StackOptions { sequence_parallel: true, recompute_every: None }),
+            ("sp+rc k=1", StackOptions { sequence_parallel: true, recompute_every: Some(1) }),
+        ] {
+            let out = Cluster::a100(shape.size()).run(|ctx| {
+                let grid = TesseractGrid::new(ctx, shape, 0);
+                let mut model = TesseractTransformer::<ShadowTensor>::new_with_options(
+                    ctx, &grid, stack_cfg, true, 0, 0, opts,
+                );
+                let x = std::sync::Arc::new(ShadowTensor::new(
+                    stack_cfg.rows() / (q * d),
+                    stack_cfg.hidden / q,
+                ));
+                let y = model.forward(&grid, ctx, &x);
+                let dy = std::sync::Arc::new(ShadowTensor::new(y.rows(), y.cols()));
+                let _ = model.backward(&grid, ctx, &dy);
+                ctx.flush_compute();
+            });
+            let peak = out.reports.iter().map(|r| r.activation_bytes_peak).max().unwrap();
+            println!("| [{q},{q},{d}] | {mode} | {peak} |");
+        }
     }
 
     let t = memory_tesseract(a_rows, a_cols, b_cols, 4, 4);

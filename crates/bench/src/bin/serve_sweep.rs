@@ -22,9 +22,9 @@
 //!
 //! Run: `cargo run --release -p tesseract-bench --bin serve_sweep -- \
 //!           [--grids 2,1;2,2;4,1] [--requests 48] [--seed 42] \
-//!           [--out BENCH_serving.json] [--trace-out TRACE_serving.json]`
+//!           [--out BENCH_serving.json] [--trace-out target/TRACE_serving.json]`
 
-use tesseract_comm::{Cluster, RunOutput};
+use tesseract_comm::{Cluster, RunConfig, RunOutput};
 use tesseract_core::{GridShape, TransformerConfig};
 use tesseract_serve::{
     generate, latency_stats, serve_on_cluster, ServeConfig, ServeSummary, TrafficConfig,
@@ -164,7 +164,7 @@ fn write_saturated_trace(path: &str, shape: GridShape, requests: usize, seed: u6
     let cfg = serve_cfg(seed);
     let traffic_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ shape.size() as u64;
     let traffic = generate(&traffic_cfg(FLOOD_RATE, requests, traffic_seed));
-    let cluster = Cluster::a100(shape.size()).with_trace(true);
+    let cluster = RunConfig::from_env(shape.size()).with_trace(true).cluster();
     let out = serve_on_cluster::<ShadowTensor>(&cluster, shape, &cfg, &traffic);
     assert_eq!(out.traces.len(), shape.size(), "one trace per rank");
     let payload = chrome::chrome_trace_json(&out.traces);
@@ -181,6 +181,11 @@ fn write_saturated_trace(path: &str, shape: GridShape, requests: usize, seed: u6
         }),
         "{path}: no complete (ph: X) spans emitted"
     );
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| panic!("creating {parent:?}: {e}"));
+        }
+    }
     std::fs::write(path, &payload).unwrap_or_else(|e| panic!("writing {path}: {e}"));
     events.len()
 }
@@ -190,7 +195,10 @@ fn main() {
     let mut requests = 48usize;
     let mut seed = 42u64;
     let mut out_path = String::from("BENCH_serving.json");
-    let mut trace_path = String::from("TRACE_serving.json");
+    // Traces are regenerated artifacts, not sources: they default under
+    // target/ and are never committed (ci.sh proves one is generated and
+    // parseable on every run).
+    let mut trace_path = String::from("target/TRACE_serving.json");
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();

@@ -1,0 +1,233 @@
+//! Sequence-parallelism memory sweep: per-GPU peak of *tape-held*
+//! activation bytes over a full forward + backward, dense layout vs
+//! sequence parallelism (SP) vs SP + tape recomputation, at growing
+//! sequence lengths.
+//!
+//! Runs use [`ShadowTensor`]: the SP contract tests pin shadow and dense
+//! backends to identical schedules, so the sweep pays for shapes, not
+//! floats. Alongside the measured peaks the sweep keeps a collective-call
+//! ledger proving the SP schedule's fusion claim: the row all-gathers and
+//! reduce-scatters replace dense broadcasts/reduces one for one (SP's
+//! sharded layer-norm needs strictly *fewer* stat reductions), so apart
+//! from the boundary all-to-all relayouts SP never issues more collectives
+//! than the dense schedule.
+//!
+//! Every point asserts, per rank, the ordering the memory table shows in
+//! aggregate: `dense > sp > sp+recompute`. The greppable invariant lines
+//! (`sp_peak_lt_dense:true`, …) only print after those asserts held at
+//! every swept point.
+//!
+//! Run: `cargo run --release -p tesseract-bench --bin sp_sweep -- \
+//!           [--grids 2,1;2,2;4,1] [--seqs 256,1024,4096] [--layers 4] \
+//!           [--recompute 2] [--out BENCH_sp.json]`
+
+use tesseract_comm::{CollectiveOp, RunConfig};
+use tesseract_core::layers::StackOptions;
+use tesseract_core::{GridShape, Module, TesseractGrid, TesseractTransformer, TransformerConfig};
+use tesseract_tensor::{ShadowTensor, TensorLike};
+
+/// The swept model, minus the sequence length (widths stay fixed so the
+/// curve isolates the sequence axis).
+fn model(seq: usize, layers: usize) -> TransformerConfig {
+    TransformerConfig { batch: 16, seq, hidden: 256, heads: 8, mlp_ratio: 4, layers, eps: 1e-5 }
+}
+
+/// One mode's measurements at one (grid, seq) point.
+struct ModeRun {
+    /// Per-rank tape high-water bytes.
+    per_rank: Vec<u64>,
+    /// Max over ranks — the number a capacity planner reads.
+    peak: u64,
+    /// Collective calls summed over ranks and ops.
+    calls: u64,
+    /// The boundary relayout calls (all-to-all) within `calls`.
+    a2a_calls: u64,
+}
+
+fn run_mode(shape: GridShape, cfg: TransformerConfig, opts: StackOptions) -> ModeRun {
+    let (q, d) = (shape.q, shape.d);
+    let out = RunConfig::from_env(shape.size()).cluster().run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let mut model = TesseractTransformer::<ShadowTensor>::new_with_options(
+            ctx, &grid, cfg, true, 0, 0, opts,
+        );
+        let x = std::sync::Arc::new(ShadowTensor::new(cfg.rows() / (q * d), cfg.hidden / q));
+        let y = model.forward(&grid, ctx, &x);
+        let dy = std::sync::Arc::new(ShadowTensor::new(y.rows(), y.cols()));
+        let _ = model.backward(&grid, ctx, &dy);
+        ctx.flush_compute();
+    });
+    let per_rank: Vec<u64> = out.reports.iter().map(|r| r.activation_bytes_peak).collect();
+    let peak = *per_rank.iter().max().expect("at least one rank");
+    ModeRun {
+        per_rank,
+        peak,
+        calls: out.comm.total_calls(),
+        a2a_calls: out.comm.get(CollectiveOp::AllToAll).calls,
+    }
+}
+
+fn main() {
+    let mut grids: Vec<(usize, usize)> = vec![(2, 1), (2, 2), (4, 1)];
+    let mut seqs: Vec<usize> = vec![256, 1024, 4096];
+    let mut layers = 4usize;
+    let mut recompute = 2usize;
+    let mut out_path = String::from("BENCH_sp.json");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value =
+            |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value")).clone();
+        match arg.as_str() {
+            "--grids" => {
+                grids = value("--grids")
+                    .split(';')
+                    .map(|pair| {
+                        let mut parts = pair
+                            .split(',')
+                            .map(|s| s.trim().parse::<usize>().expect("--grids wants q,d pairs"));
+                        let q = parts.next().expect("--grids wants q,d pairs");
+                        let d = parts.next().expect("--grids wants q,d pairs");
+                        assert!(parts.next().is_none(), "--grids wants q,d pairs");
+                        (q, d)
+                    })
+                    .collect();
+            }
+            "--seqs" => {
+                seqs = value("--seqs")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--seqs wants integers"))
+                    .collect();
+            }
+            "--layers" => layers = value("--layers").parse().expect("--layers wants an integer"),
+            "--recompute" => {
+                recompute = value("--recompute").parse().expect("--recompute wants an integer")
+            }
+            "--out" => out_path = value("--out"),
+            other => panic!(
+                "unknown argument {other:?} (known: --grids --seqs --layers --recompute --out)"
+            ),
+        }
+    }
+    assert!(!grids.is_empty() && !seqs.is_empty(), "need at least one grid and one seq");
+    assert!(recompute >= 1, "--recompute wants k >= 1");
+    for &(q, d) in &grids {
+        assert!(q >= 2, "sp_sweep wants q >= 2 grids (q = 1 SP is the dense no-op)");
+        for &s in &seqs {
+            model(s, layers).validate_for_grid_sp(q, d);
+        }
+    }
+
+    let sp_opts = StackOptions { sequence_parallel: true, recompute_every: None };
+    let rc_opts = StackOptions { sequence_parallel: true, recompute_every: Some(recompute) };
+
+    println!(
+        "sp_sweep: {layers}-layer stack fwd+bwd, hidden 256, heads 8, mlp x4, \
+checkpoint every k={recompute} layers (tape high-water per GPU)\n"
+    );
+    println!("| grid | seq | mode | measured-peak bytes/GPU | collectives | all-to-all |");
+    println!("|---|---|---|---|---|---|");
+
+    struct Point {
+        q: usize,
+        d: usize,
+        seq: usize,
+        dense: ModeRun,
+        sp: ModeRun,
+        rc: ModeRun,
+    }
+    let mut points = Vec::new();
+    for &(q, d) in &grids {
+        let shape = GridShape::new(q, d);
+        for &seq in &seqs {
+            let cfg = model(seq, layers);
+            let dense = run_mode(shape, cfg, StackOptions::default());
+            let sp = run_mode(shape, cfg, sp_opts);
+            let rc = run_mode(shape, cfg, rc_opts);
+            for (mode, run) in
+                [("dense", &dense), ("sp", &sp), (&format!("sp+rc k={recompute}") as &str, &rc)]
+            {
+                println!(
+                    "| [{q},{q},{d}] | {seq} | {mode} | {} | {} | {} |",
+                    run.peak, run.calls, run.a2a_calls
+                );
+            }
+
+            // Per-rank strict ordering: SP sheds the un-sharded layer-norm
+            // stat columns, recompute sheds whole segments on top.
+            for r in 0..dense.per_rank.len() {
+                assert!(dense.per_rank[r] > 0, "[{q},{q},{d}] s={seq}: rank {r} tracked nothing");
+                assert!(
+                    sp.per_rank[r] < dense.per_rank[r],
+                    "[{q},{q},{d}] s={seq}: rank {r} SP peak {} not below dense {}",
+                    sp.per_rank[r],
+                    dense.per_rank[r]
+                );
+                assert!(
+                    rc.per_rank[r] < sp.per_rank[r],
+                    "[{q},{q},{d}] s={seq}: rank {r} recompute peak {} not below SP {}",
+                    rc.per_rank[r],
+                    sp.per_rank[r]
+                );
+            }
+
+            // The fusion ledger: aside from the boundary all-to-alls, SP
+            // must not issue more collectives than the dense schedule.
+            assert_eq!(dense.a2a_calls, 0, "[{q},{q},{d}] s={seq}: dense schedule used a2a");
+            assert!(
+                sp.calls - sp.a2a_calls <= dense.calls,
+                "[{q},{q},{d}] s={seq}: SP collectives beyond the boundary a2a ({}) exceed dense ({})",
+                sp.calls - sp.a2a_calls,
+                dense.calls
+            );
+            points.push(Point { q, d, seq, dense, sp, rc });
+        }
+    }
+
+    // Greppable only because every per-point assert above already held.
+    println!();
+    println!("sp_peak_lt_dense:true");
+    println!("rc_peak_lt_sp:true");
+    println!("sp_collectives_flat:true");
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"sp_sweep\",\n");
+    out.push_str(
+        "  \"units\": { \"peak\": \"tape high-water bytes, per GPU\", \
+\"collectives\": \"calls summed over ranks\" },\n",
+    );
+    out.push_str(&format!(
+        "  \"model\": {{ \"hidden\": 256, \"heads\": 8, \"mlp_ratio\": 4, \"layers\": {layers} }},\n"
+    ));
+    out.push_str(&format!("  \"recompute_every\": {recompute},\n"));
+    out.push_str("  \"points\": [\n");
+    for (pi, p) in points.iter().enumerate() {
+        let mode = |m: &ModeRun| {
+            format!(
+                "{{ \"peak_bytes\": {}, \"collective_calls\": {}, \"all_to_all_calls\": {} }}",
+                m.peak, m.calls, m.a2a_calls
+            )
+        };
+        out.push_str(&format!(
+            "    {{ \"grid\": \"[{q},{q},{d}]\", \"world\": {}, \"seq\": {}, \
+\"dense\": {}, \"sp\": {}, \"sp_recompute\": {} }}{}\n",
+            p.q * p.q * p.d,
+            p.seq,
+            mode(&p.dense),
+            mode(&p.sp),
+            mode(&p.rc),
+            if pi + 1 == points.len() { "" } else { "," },
+            q = p.q,
+            d = p.d,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| panic!("creating {parent:?}: {e}"));
+        }
+    }
+    std::fs::write(&out_path, &out).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

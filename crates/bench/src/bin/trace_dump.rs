@@ -23,7 +23,7 @@
 
 use std::sync::Arc;
 
-use tesseract_comm::{Cluster, RunOutput};
+use tesseract_comm::{RunConfig, RunOutput};
 use tesseract_core::partition::{a_block, b_block};
 use tesseract_core::{
     tesseract_matmul, tesseract_matmul_nt, tesseract_matmul_nt_serial, tesseract_matmul_serial,
@@ -43,7 +43,7 @@ fn step_round(pipelined: bool, shape: GridShape, n: usize) -> RunOutput<(Matrix,
     let rows = 8 * shape.q * shape.d;
     let a = random(rows, n, 71);
     let b = random(n, n, 72);
-    Cluster::a100(shape.size()).with_trace(true).run(move |ctx| {
+    RunConfig::from_env(shape.size()).with_trace(true).cluster().run(move |ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let a_loc = Arc::new(DenseTensor::from_matrix(a_block(&a, shape, i, j, k)));

@@ -14,20 +14,22 @@ use crate::fabric::Fabric;
 use crate::stats::{CommStats, StatsCollector};
 use crate::topology::Topology;
 
-/// Configuration of a simulated cluster.
+/// A runnable simulated cluster. Build one through
+/// [`crate::RunConfig`] — `RunConfig::new(world).cluster()` or
+/// [`crate::RunConfig::from_env`] for the environment-configured defaults.
 #[derive(Clone, Copy, Debug)]
 pub struct Cluster {
     pub world: usize,
     pub topology: Topology,
     pub params: CostParams,
-    /// Collect per-rank [`TraceEvent`] timelines during [`Cluster::run`].
-    /// Defaults to the `TESSERACT_TRACE` environment toggle; override with
-    /// [`Cluster::with_trace`].
+    /// Collect per-rank [`TraceEvent`] timelines during [`Cluster::run`]
+    /// (set from [`crate::RunConfig::with_trace`] / `TESSERACT_TRACE`).
     pub trace: bool,
     /// Rendezvous timeout override for this cluster's fabric (seconds).
-    /// `None` uses the process-wide default (`TESSERACT_RENDEZVOUS_TIMEOUT_SECS`
-    /// or 30 s). Tests that deliberately deadlock set this explicitly instead
-    /// of racing on `std::env::set_var`.
+    /// `None` uses the process-wide default (120 s unless
+    /// `TESSERACT_RENDEZVOUS_TIMEOUT_SECS` was installed). Tests that
+    /// deliberately deadlock set this explicitly instead of racing on
+    /// `std::env::set_var`.
     pub rendezvous_timeout_secs: Option<u64>,
 }
 
@@ -41,7 +43,7 @@ pub struct RunOutput<R> {
     /// Global collective statistics.
     pub comm: CommStats,
     /// Per-rank event timelines, indexed by rank. Empty vectors unless the
-    /// cluster ran with tracing enabled (see [`Cluster::with_trace`]).
+    /// cluster ran with tracing enabled (see [`crate::RunConfig::with_trace`]).
     pub traces: Vec<Vec<TraceEvent>>,
 }
 
@@ -64,26 +66,30 @@ impl<R> RunOutput<R> {
 }
 
 impl Cluster {
-    /// A cluster with the paper's testbed topology and cost constants.
+    /// A cluster with the paper's testbed topology and cost constants,
+    /// honoring the `TESSERACT_*` environment knobs — shorthand for
+    /// [`crate::RunConfig::from_env`]`(world).cluster()`.
     pub fn a100(world: usize) -> Self {
-        Self::custom(world, Topology::meluxina(), CostParams::a100_cluster())
+        crate::RunConfig::from_env(world).cluster()
     }
 
     /// A cluster with explicit topology and cost constants.
+    #[deprecated(note = "build a `RunConfig` and call `.cluster()` instead")]
     pub fn custom(world: usize, topology: Topology, params: CostParams) -> Self {
-        Self { world, topology, params, trace: trace::env_enabled(), rendezvous_timeout_secs: None }
+        crate::RunConfig::from_env(world).with_topology(topology).with_params(params).cluster()
     }
 
-    /// Enables (or disables) per-rank event tracing for this cluster,
-    /// overriding the `TESSERACT_TRACE` environment toggle.
+    /// Enables (or disables) per-rank event tracing for this cluster.
+    #[deprecated(note = "set tracing on the `RunConfig` via `RunConfig::with_trace`")]
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
         self
     }
 
-    /// Sets an explicit rendezvous timeout for this cluster's fabric. Used
-    /// by failure-injection tests so a deliberate deadlock fails fast
-    /// without mutating process-global environment state.
+    /// Sets an explicit rendezvous timeout for this cluster's fabric.
+    #[deprecated(
+        note = "set the timeout on the `RunConfig` via `RunConfig::with_rendezvous_timeout_secs`"
+    )]
     pub fn with_rendezvous_timeout_secs(mut self, secs: u64) -> Self {
         self.rendezvous_timeout_secs = Some(secs);
         self

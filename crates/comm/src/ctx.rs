@@ -46,6 +46,11 @@ pub struct RankCtx {
     total_prefill_steps: u64,
     total_decode_steps: u64,
     total_kv_cache_bytes_peak: u64,
+    total_activation_bytes_peak: u64,
+    /// Running bytes of tape-held activations (pushes minus pops). Lives on
+    /// the ctx rather than the meter because `Meter::take` resets flows at
+    /// every flush, while tape residency spans flush boundaries.
+    tape_bytes_now: u64,
     idle_time: f64,
     fabric: Arc<Fabric>,
     stats: Arc<StatsCollector>,
@@ -83,6 +88,8 @@ impl RankCtx {
             total_prefill_steps: 0,
             total_decode_steps: 0,
             total_kv_cache_bytes_peak: 0,
+            total_activation_bytes_peak: 0,
+            tape_bytes_now: 0,
             idle_time: 0.0,
             fabric,
             stats,
@@ -127,6 +134,8 @@ impl RankCtx {
         self.total_prefill_steps += m.prefill_steps;
         self.total_decode_steps += m.decode_steps;
         self.total_kv_cache_bytes_peak = self.total_kv_cache_bytes_peak.max(m.kv_cache_bytes_peak);
+        self.total_activation_bytes_peak =
+            self.total_activation_bytes_peak.max(m.activation_bytes_peak);
         if m.flops > 0.0 || m.kernels > 0 {
             let t = self.params.compute_time(m.flops, m.kernels);
             self.clock += t;
@@ -253,8 +262,29 @@ impl RankCtx {
             prefill_steps: self.total_prefill_steps,
             decode_steps: self.total_decode_steps,
             kv_cache_bytes_peak: self.total_kv_cache_bytes_peak,
+            activation_bytes_peak: self.total_activation_bytes_peak,
             idle_time: self.idle_time,
         }
+    }
+
+    /// Books `bytes` of newly tape-held activation data and raises the
+    /// meter's high-water mark to the new running total. Called by
+    /// `Tape::push_tracked` in tesseract-core.
+    pub fn charge_tape_push(&mut self, bytes: u64) {
+        self.tape_bytes_now += bytes;
+        self.meter.note_activation_bytes(self.tape_bytes_now);
+    }
+
+    /// Releases `bytes` of tape-held activation data (pop or checkpoint
+    /// clear). Saturating: a release can never underflow the running total.
+    pub fn charge_tape_pop(&mut self, bytes: u64) {
+        debug_assert!(self.tape_bytes_now >= bytes, "tape release exceeds held bytes");
+        self.tape_bytes_now = self.tape_bytes_now.saturating_sub(bytes);
+    }
+
+    /// Current bytes of tape-held activations (pushes minus pops).
+    pub fn tape_bytes_now(&self) -> u64 {
+        self.tape_bytes_now
     }
 }
 
@@ -307,6 +337,12 @@ pub struct RankReport {
     /// Peak bytes of KV-cache blocks resident on this rank at any point in
     /// the run (a high-water mark, not a flow).
     pub kv_cache_bytes_peak: u64,
+    /// Peak bytes of tape-held activations resident on this rank at any
+    /// point in the run (a high-water mark, not a flow; zero for serving
+    /// runs). This is the measured number the memory table's
+    /// measured-peak column and `plan`'s dry-run report — what sequence
+    /// parallelism and checkpointed recomputation shrink.
+    pub activation_bytes_peak: u64,
     /// Simulated seconds spent idle waiting for future arrivals (via
     /// `RankCtx::idle_until`; zero for training runs). Idle time is part
     /// of `virtual_time` but belongs to neither compute nor comm.

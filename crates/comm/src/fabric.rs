@@ -28,27 +28,21 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
-/// How long a rank waits at a rendezvous before declaring the run wedged.
-/// Overridable via `TESSERACT_RENDEZVOUS_TIMEOUT_SECS` (tests that inject
-/// failures shrink it so the surviving ranks fail fast). Read once and
-/// cached — every collective wait consults it, and re-reading the
-/// environment on a hot path is both slow and racy. A set-but-unparsable
-/// value panics instead of silently falling back to the default: a test
-/// that *meant* to fail fast would otherwise hang for two minutes.
+static DEFAULT_TIMEOUT: OnceLock<Duration> = OnceLock::new();
+
+/// Installs the process-default rendezvous timeout (first caller wins).
+/// This is the setter [`crate::RunConfig::install`] applies after parsing
+/// `TESSERACT_RENDEZVOUS_TIMEOUT_SECS`; clusters that need a different
+/// timeout set it per instance instead of racing on process state.
+pub fn set_default_rendezvous_timeout_secs(secs: u64) {
+    let _ = DEFAULT_TIMEOUT.set(Duration::from_secs(secs));
+}
+
+/// How long a rank waits at a rendezvous before declaring the run wedged:
+/// the installed default, or 120 s if nothing was installed. Cached — every
+/// collective wait consults it.
 fn rendezvous_timeout() -> Duration {
-    static TIMEOUT: OnceLock<Duration> = OnceLock::new();
-    *TIMEOUT.get_or_init(|| {
-        let secs = match std::env::var("TESSERACT_RENDEZVOUS_TIMEOUT_SECS") {
-            Ok(v) => v.parse().unwrap_or_else(|_| {
-                panic!(
-                    "TESSERACT_RENDEZVOUS_TIMEOUT_SECS must be a non-negative \
-                     integer number of seconds, got {v:?}"
-                )
-            }),
-            Err(_) => 120,
-        };
-        Duration::from_secs(secs)
-    })
+    DEFAULT_TIMEOUT.get().copied().unwrap_or(Duration::from_secs(120))
 }
 
 type SlotKey = (u64, u64);
@@ -106,8 +100,8 @@ impl Default for Fabric {
 }
 
 impl Fabric {
-    /// A fabric with the process-default timeout (120 s, or the cached
-    /// `TESSERACT_RENDEZVOUS_TIMEOUT_SECS` override).
+    /// A fabric with the process-default timeout (120 s, or whatever
+    /// [`set_default_rendezvous_timeout_secs`] installed).
     pub fn new() -> Self {
         Self::with_timeout(rendezvous_timeout())
     }

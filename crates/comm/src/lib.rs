@@ -21,6 +21,7 @@ pub mod ctx;
 pub mod fabric;
 pub mod group;
 pub mod mesh;
+pub mod runconfig;
 pub mod stats;
 pub mod topology;
 
@@ -29,5 +30,6 @@ pub use cost::{CollectiveOp, CostParams, PhasedCost};
 pub use ctx::{RankCtx, RankReport};
 pub use group::{CommGroup, Payload, PendingCollective};
 pub use mesh::{Mesh, MeshAxis};
+pub use runconfig::RunConfig;
 pub use stats::{CommStats, OpStats, StatsCollector};
 pub use topology::{GroupPlacement, Link, NodeArrangement, Topology};

@@ -1,7 +1,7 @@
 //! Failure-injection tests: the simulated cluster must convert misuse into
 //! diagnosable panics rather than silent corruption or hangs.
 
-use tesseract_comm::Cluster;
+use tesseract_comm::{Cluster, RunConfig};
 use tesseract_tensor::{DenseTensor, Matrix, TensorLike};
 
 /// A cluster whose fabric gives up in seconds instead of minutes, so
@@ -9,7 +9,7 @@ use tesseract_tensor::{DenseTensor, Matrix, TensorLike};
 /// the builder — mutating the process environment from parallel tests is
 /// a race.
 fn fail_fast(world: usize) -> Cluster {
-    Cluster::a100(world).with_rendezvous_timeout_secs(2)
+    RunConfig::new(world).with_rendezvous_timeout_secs(2).cluster()
 }
 
 #[test]

@@ -4,7 +4,7 @@
 
 use std::sync::Arc;
 
-use tesseract_comm::Cluster;
+use tesseract_comm::{Cluster, RunConfig};
 use tesseract_tensor::{DenseTensor, Matrix, TensorLike, Xoshiro256StarStar};
 
 /// A cluster whose fabric gives up in seconds instead of minutes, so
@@ -12,7 +12,7 @@ use tesseract_tensor::{DenseTensor, Matrix, TensorLike, Xoshiro256StarStar};
 /// builder — mutating the process environment from parallel tests is a
 /// race.
 fn fail_fast(world: usize) -> Cluster {
-    Cluster::a100(world).with_rendezvous_timeout_secs(2)
+    RunConfig::new(world).with_rendezvous_timeout_secs(2).cluster()
 }
 
 fn rank_payload(rank: usize) -> DenseTensor {

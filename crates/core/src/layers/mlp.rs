@@ -11,7 +11,7 @@ use tesseract_comm::{Payload, RankCtx};
 use tesseract_tensor::TensorLike;
 
 use crate::grid::TesseractGrid;
-use crate::layers::linear::TesseractLinear;
+use crate::layers::linear::{SpMode, TesseractLinear};
 use crate::module::{Module, ParamRef, Tape};
 
 /// Feed-forward block: `fc2(gelu(fc1(x)))`.
@@ -34,11 +34,33 @@ impl<T: TensorLike + Payload> TesseractMlp<T> {
         seed: u64,
         param_id: u64,
     ) -> Self {
-        Self {
-            fc1: TesseractLinear::new(ctx, grid, hidden, mlp_hidden, with_bias, seed, param_id),
-            fc2: TesseractLinear::new(ctx, grid, mlp_hidden, hidden, with_bias, seed, param_id + 1),
-            tape: Tape::new(),
+        Self::new_with_sp(ctx, grid, hidden, mlp_hidden, with_bias, seed, param_id, false)
+    }
+
+    /// [`TesseractMlp::new`] with an explicit sequence-parallel mode: when
+    /// `sp` is set, `fc1` consumes the `[R/q, h]` row chunk
+    /// ([`SpMode::SeqIn`]) and `fc2` re-shards its output
+    /// ([`SpMode::SeqOut`]); the GELU in between stays dense.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_sp(
+        ctx: &RankCtx,
+        grid: &TesseractGrid,
+        hidden: usize,
+        mlp_hidden: usize,
+        with_bias: bool,
+        seed: u64,
+        param_id: u64,
+        sp: bool,
+    ) -> Self {
+        let mut fc1 =
+            TesseractLinear::new(ctx, grid, hidden, mlp_hidden, with_bias, seed, param_id);
+        let mut fc2 =
+            TesseractLinear::new(ctx, grid, mlp_hidden, hidden, with_bias, seed, param_id + 1);
+        if sp {
+            fc1 = fc1.with_sp_mode(SpMode::SeqIn);
+            fc2 = fc2.with_sp_mode(SpMode::SeqOut);
         }
+        Self { fc1, fc2, tape: Tape::new() }
     }
 
     /// Inference forward: `fc2(gelu(fc1(x)))` with no tape pushes.
@@ -62,13 +84,14 @@ impl<T: TensorLike + Payload> Module<T> for TesseractMlp<T> {
     fn forward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
         let pre = self.fc1.forward(grid, ctx, x);
         let act = Arc::new(pre.gelu(&mut ctx.meter));
-        self.tape.push(pre);
+        let bytes = pre.byte_size() as u64;
+        self.tape.push_tracked(ctx, bytes, pre);
         self.fc2.forward(grid, ctx, &act)
     }
 
     fn backward(&mut self, grid: &TesseractGrid, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
         let d_act = self.fc2.backward(grid, ctx, dy);
-        let pre = self.tape.pop("TesseractMlp");
+        let pre = self.tape.pop_tracked(ctx, "TesseractMlp");
         let d_pre = Arc::new(pre.gelu_backward(&d_act, &mut ctx.meter));
         self.fc1.backward(grid, ctx, &d_pre)
     }
@@ -82,5 +105,11 @@ impl<T: TensorLike + Payload> Module<T> for TesseractMlp<T> {
         self.tape.debug_assert_balanced("TesseractMlp");
         self.fc1.zero_grad();
         self.fc2.zero_grad();
+    }
+
+    fn reset_tape(&mut self, ctx: &mut RankCtx) {
+        self.tape.clear_tracked(ctx);
+        self.fc1.reset_tape(ctx);
+        self.fc2.reset_tape(ctx);
     }
 }

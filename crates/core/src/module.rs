@@ -87,6 +87,15 @@ pub trait Module<T: TensorLike + Payload, G = TesseractGrid> {
             *pr.grad = T::zeros(pr.grad.rows(), pr.grad.cols());
         });
     }
+
+    /// Drops every queued forward activation and releases its tracked
+    /// bytes, as if the matching backwards had run. Checkpointed
+    /// recomputation calls this after a segment's forward so only the
+    /// segment *input* stays resident; the tape is rebuilt by the replay
+    /// inside backward. Modules without tapes use the default no-op.
+    fn reset_tape(&mut self, ctx: &mut RankCtx) {
+        let _ = ctx;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -101,9 +110,17 @@ pub trait Module<T: TensorLike + Payload, G = TesseractGrid> {
 /// schedule fails loudly: popping an empty tape panics, and
 /// [`Tape::debug_assert_balanced`] (called by `zero_grad` at step
 /// boundaries) catches forwards that were never unwound.
+/// Entries may carry a tracked byte size (via [`Tape::push_tracked`]) that
+/// feeds the per-rank activation high-water mark in
+/// [`tesseract_tensor::Meter::activation_bytes_peak`]; the matching pop (or
+/// a checkpoint [`Tape::clear_tracked`]) releases exactly what the push
+/// charged.
 #[derive(Debug)]
 pub struct Tape<V> {
     items: Vec<V>,
+    /// Tracked byte size per entry, parallel to `items` (0 for untracked
+    /// pushes).
+    bytes: Vec<u64>,
     pushes: u64,
     pops: u64,
 }
@@ -116,13 +133,23 @@ impl<V> Default for Tape<V> {
 
 impl<V> Tape<V> {
     pub fn new() -> Self {
-        Self { items: Vec::new(), pushes: 0, pops: 0 }
+        Self { items: Vec::new(), bytes: Vec::new(), pushes: 0, pops: 0 }
     }
 
     /// Caches one microbatch's forward state.
     pub fn push(&mut self, v: V) {
         self.pushes += 1;
         self.items.push(v);
+        self.bytes.push(0);
+    }
+
+    /// Caches one microbatch's forward state and books `bytes` of tape
+    /// residency against the rank's activation high-water mark.
+    pub fn push_tracked(&mut self, ctx: &mut RankCtx, bytes: u64, v: V) {
+        ctx.charge_tape_push(bytes);
+        self.pushes += 1;
+        self.items.push(v);
+        self.bytes.push(bytes);
     }
 
     /// Retrieves the most recent unconsumed forward state.
@@ -131,6 +158,7 @@ impl<V> Tape<V> {
     /// matching forward (`what` names the offending module).
     pub fn pop(&mut self, what: &str) -> V {
         self.pops += 1;
+        self.bytes.pop();
         self.items.pop().unwrap_or_else(|| {
             panic!(
                 "{what}: backward without forward (activation tape empty after \
@@ -138,6 +166,32 @@ impl<V> Tape<V> {
                 self.pushes, self.pops
             )
         })
+    }
+
+    /// [`Tape::pop`] plus release of the bytes the matching
+    /// [`Tape::push_tracked`] charged.
+    pub fn pop_tracked(&mut self, ctx: &mut RankCtx, what: &str) -> V {
+        self.pops += 1;
+        if let Some(b) = self.bytes.pop() {
+            ctx.charge_tape_pop(b);
+        }
+        self.items.pop().unwrap_or_else(|| {
+            panic!(
+                "{what}: backward without forward (activation tape empty after \
+                 {} forwards / {} backwards)",
+                self.pushes, self.pops
+            )
+        })
+    }
+
+    /// Drops every queued entry and releases all tracked bytes, counting
+    /// the drops as pops so the balance invariant holds. The checkpoint
+    /// wrapper calls this through [`Module::reset_tape`] after a segment's
+    /// forward.
+    pub fn clear_tracked(&mut self, ctx: &mut RankCtx) {
+        self.pops += self.items.len() as u64;
+        self.items.clear();
+        ctx.charge_tape_pop(self.bytes.drain(..).sum());
     }
 
     /// Microbatches currently queued (forwards not yet unwound).
@@ -259,6 +313,82 @@ impl<T: TensorLike + Payload, G> Module<T, G> for Sequential<T, G> {
         for m in &mut self.mods {
             m.zero_grad();
         }
+    }
+
+    fn reset_tape(&mut self, ctx: &mut RankCtx) {
+        for m in &mut self.mods {
+            m.reset_tape(ctx);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointSegment
+// ---------------------------------------------------------------------------
+
+/// Activation-checkpointing wrapper: runs a [`Sequential`] segment's
+/// forward, then immediately drops the segment's internal activation tapes
+/// ([`Module::reset_tape`]) and keeps only the segment *input* resident.
+/// Backward replays the segment forward to rebuild the tapes — bitwise
+/// deterministic (same data, same kernels) and issued at the same program
+/// point on every rank, so the replayed collective schedule stays
+/// SPMD-aligned — then unwinds it as usual.
+///
+/// Peak tape residency drops from "every layer of the stack" to "one
+/// segment input per segment plus the deepest single segment", at the cost
+/// of one extra forward per segment (the classic recompute trade).
+pub struct CheckpointSegment<T, G = TesseractGrid> {
+    inner: Sequential<T, G>,
+    input_tape: Tape<Arc<T>>,
+}
+
+impl<T: TensorLike + Payload, G> CheckpointSegment<T, G> {
+    pub fn new(inner: Sequential<T, G>) -> Self {
+        Self { inner, input_tape: Tape::new() }
+    }
+
+    /// Number of modules inside the checkpointed segment.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<T: TensorLike + Payload, G> Module<T, G> for CheckpointSegment<T, G> {
+    fn name(&self) -> &'static str {
+        "checkpoint"
+    }
+
+    fn forward(&mut self, grid: &G, ctx: &mut RankCtx, x: &Arc<T>) -> Arc<T> {
+        let y = self.inner.forward(grid, ctx, x);
+        // Everything the segment taped is recomputable from `x`: release
+        // it now and keep only the input.
+        self.inner.reset_tape(ctx);
+        self.input_tape.push_tracked(ctx, x.byte_size() as u64, Arc::clone(x));
+        y
+    }
+
+    fn backward(&mut self, grid: &G, ctx: &mut RankCtx, dy: &Arc<T>) -> Arc<T> {
+        let x = self.input_tape.pop_tracked(ctx, "CheckpointSegment");
+        let _ = self.inner.forward(grid, ctx, &x);
+        self.inner.backward(grid, ctx, dy)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(ParamRef<'_, T>)) {
+        self.inner.visit_params(f);
+    }
+
+    fn zero_grad(&mut self) {
+        self.input_tape.debug_assert_balanced("CheckpointSegment");
+        self.inner.zero_grad();
+    }
+
+    fn reset_tape(&mut self, ctx: &mut RankCtx) {
+        self.input_tape.clear_tracked(ctx);
+        self.inner.reset_tape(ctx);
     }
 }
 

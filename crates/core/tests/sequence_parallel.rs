@@ -1,0 +1,224 @@
+//! Sequence parallelism (SP) contract tests.
+//!
+//! The SP schedule promises *bitwise* identity with the dense layout — the
+//! gathered panels are the same matrix values the dense broadcasts deliver,
+//! the reduce-scatter folds in the same ascending order as the dense
+//! reductions, and the layer-norm chunk folds replicate the dense
+//! all-reduce fold — so every comparison here is on `f32::to_bits`, not a
+//! tolerance.
+
+use std::sync::Arc;
+
+use tesseract_comm::{Cluster, RunConfig};
+use tesseract_core::layers::StackOptions;
+use tesseract_core::partition::a_block;
+use tesseract_core::{GridShape, Module, TesseractGrid, TesseractTransformer, TransformerConfig};
+use tesseract_tensor::{DenseTensor, Matrix, ShadowTensor, TensorLike, Xoshiro256StarStar};
+
+const SEED: u64 = 321;
+
+fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    Matrix::random_uniform(rows, cols, -1.0, 1.0, &mut rng)
+}
+
+fn cfg_for(q: usize, d: usize, layers: usize) -> TransformerConfig {
+    TransformerConfig {
+        batch: q * d,
+        seq: 2 * q,
+        hidden: 8 * q,
+        heads: q,
+        mlp_ratio: 2,
+        layers,
+        eps: 1e-5,
+    }
+}
+
+fn assert_bits_eq(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+    for (g, w) in got.data().iter().zip(want.data()) {
+        assert_eq!(g.to_bits(), w.to_bits(), "{what}: bitwise mismatch ({g} vs {w})");
+    }
+}
+
+/// Runs one forward + backward of a stack built with `opts` and returns
+/// per-rank `(y, dx, grads)` matrices.
+fn run_stack(
+    shape: GridShape,
+    cfg: TransformerConfig,
+    opts: StackOptions,
+    trace: bool,
+) -> Vec<(Matrix, Matrix, Vec<Matrix>)> {
+    let x = random(cfg.rows(), cfg.hidden, 11);
+    let dy = random(cfg.rows(), cfg.hidden, 12);
+    let out = RunConfig::new(shape.size()).with_trace(trace).cluster().run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let (i, j, k) = grid.coords;
+        let mut stack = TesseractTransformer::<DenseTensor>::new_with_options(
+            ctx, &grid, cfg, true, SEED, 0, opts,
+        );
+        let x_loc = Arc::new(DenseTensor::from_matrix(a_block(&x, shape, i, j, k)));
+        let dy_loc = Arc::new(DenseTensor::from_matrix(a_block(&dy, shape, i, j, k)));
+        let y = stack.forward(&grid, ctx, &x_loc);
+        let dx = stack.backward(&grid, ctx, &dy_loc);
+        let mut grads = Vec::new();
+        stack.visit_params(&mut |pr| grads.push(pr.grad.matrix().clone()));
+        (y.matrix().clone(), dx.matrix().clone(), grads)
+    });
+    out.results
+}
+
+fn assert_runs_bitwise_equal(
+    got: &[(Matrix, Matrix, Vec<Matrix>)],
+    want: &[(Matrix, Matrix, Vec<Matrix>)],
+    label: &str,
+) {
+    assert_eq!(got.len(), want.len());
+    for (r, ((gy, gdx, gg), (wy, wdx, wg))) in got.iter().zip(want).enumerate() {
+        assert_bits_eq(gy, wy, &format!("{label}: rank {r} forward output"));
+        assert_bits_eq(gdx, wdx, &format!("{label}: rank {r} input gradient"));
+        assert_eq!(gg.len(), wg.len(), "{label}: rank {r} gradient count");
+        for (p, (g, w)) in gg.iter().zip(wg).enumerate() {
+            assert_bits_eq(g, w, &format!("{label}: rank {r} grad {p}"));
+        }
+    }
+}
+
+#[test]
+fn sp_stack_is_bitwise_identical_to_dense() {
+    for (q, d) in [(2usize, 1usize), (2, 2)] {
+        let shape = GridShape::new(q, d);
+        let cfg = cfg_for(q, d, 2);
+        let dense = run_stack(shape, cfg, StackOptions::default(), false);
+        let sp = run_stack(
+            shape,
+            cfg,
+            StackOptions { sequence_parallel: true, recompute_every: None },
+            false,
+        );
+        assert_runs_bitwise_equal(&sp, &dense, &format!("sp [{q},{q},{d}]"));
+    }
+}
+
+#[test]
+fn sp_stack_is_bitwise_identical_to_dense_when_traced() {
+    // Tracing must be purely observational: the traced SP run produces the
+    // same bits as the untraced dense run.
+    let shape = GridShape::new(2, 2);
+    let cfg = cfg_for(2, 2, 2);
+    let dense_untraced = run_stack(shape, cfg, StackOptions::default(), false);
+    let sp_traced = run_stack(
+        shape,
+        cfg,
+        StackOptions { sequence_parallel: true, recompute_every: None },
+        true,
+    );
+    assert_runs_bitwise_equal(&sp_traced, &dense_untraced, "sp traced [2,2,2]");
+}
+
+#[test]
+fn sp_on_a_q1_grid_is_a_bitwise_noop() {
+    // With q = 1 every fiber is a singleton: the boundary all-to-alls and
+    // panel gathers move nothing, so SP must be the dense computation.
+    let shape = GridShape::new(1, 2);
+    let cfg = cfg_for(1, 2, 2);
+    let dense = run_stack(shape, cfg, StackOptions::default(), false);
+    let sp = run_stack(
+        shape,
+        cfg,
+        StackOptions { sequence_parallel: true, recompute_every: None },
+        false,
+    );
+    assert_runs_bitwise_equal(&sp, &dense, "sp [1,1,2]");
+}
+
+#[test]
+fn recompute_is_bitwise_identical_even_when_k_does_not_divide_layers() {
+    // 3 layers, checkpoint every 2: segments of 2 + 1 (the trailing
+    // segment is shorter). Replayed forwards must reproduce the same bits.
+    let shape = GridShape::new(2, 1);
+    let cfg = cfg_for(2, 1, 3);
+    let plain = run_stack(shape, cfg, StackOptions::default(), false);
+    for sp in [false, true] {
+        let rec = run_stack(
+            shape,
+            cfg,
+            StackOptions { sequence_parallel: sp, recompute_every: Some(2) },
+            false,
+        );
+        assert_runs_bitwise_equal(&rec, &plain, &format!("recompute k=2 sp={sp}"));
+    }
+}
+
+#[test]
+#[should_panic(expected = "seq 5 not divisible by q = 2")]
+fn sp_stack_rejects_seq_not_divisible_by_q() {
+    let shape = GridShape::new(2, 1);
+    let cfg = TransformerConfig { seq: 5, ..cfg_for(2, 1, 1) };
+    let _ = run_stack(
+        shape,
+        cfg,
+        StackOptions { sequence_parallel: true, recompute_every: None },
+        false,
+    );
+}
+
+/// Per-rank peak tape residency for a stack run on the shadow backend.
+fn peak_activation_bytes(shape: GridShape, cfg: TransformerConfig, opts: StackOptions) -> Vec<u64> {
+    let out = Cluster::a100(shape.size()).run(|ctx| {
+        let grid = TesseractGrid::new(ctx, shape, 0);
+        let mut stack = TesseractTransformer::<ShadowTensor>::new_with_options(
+            ctx, &grid, cfg, true, SEED, 0, opts,
+        );
+        let rows = cfg.rows() / (shape.q * shape.d);
+        let x = Arc::new(ShadowTensor::new(rows, cfg.hidden / shape.q));
+        let y = stack.forward(&grid, ctx, &x);
+        let dy = Arc::new(ShadowTensor::new(y.rows(), y.cols()));
+        let _ = stack.backward(&grid, ctx, &dy);
+        ctx.flush_compute();
+    });
+    out.reports.iter().map(|r| r.activation_bytes_peak).collect()
+}
+
+#[test]
+fn sp_and_recompute_reduce_peak_activation_bytes() {
+    // Long sequence so the layer-norm inv_std columns ([R, 1] dense vs
+    // [R/q, 1] SP) are visible in the per-rank peaks, and several layers so
+    // checkpointing has something to drop.
+    let shape = GridShape::new(2, 1);
+    let cfg = TransformerConfig {
+        batch: 2,
+        seq: 64,
+        hidden: 16,
+        heads: 2,
+        mlp_ratio: 2,
+        layers: 4,
+        eps: 1e-5,
+    };
+    let dense = peak_activation_bytes(shape, cfg, StackOptions::default());
+    let sp = peak_activation_bytes(
+        shape,
+        cfg,
+        StackOptions { sequence_parallel: true, recompute_every: None },
+    );
+    let sp_rec = peak_activation_bytes(
+        shape,
+        cfg,
+        StackOptions { sequence_parallel: true, recompute_every: Some(1) },
+    );
+    for r in 0..dense.len() {
+        assert!(dense[r] > 0, "dense rank {r} tracked no activations");
+        assert!(
+            sp[r] < dense[r],
+            "rank {r}: SP peak {} must be strictly below dense {}",
+            sp[r],
+            dense[r]
+        );
+        assert!(
+            sp_rec[r] < sp[r],
+            "rank {r}: recompute peak {} must be strictly below SP {}",
+            sp_rec[r],
+            sp[r]
+        );
+    }
+}

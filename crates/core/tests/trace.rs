@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use tesseract_comm::Cluster;
+use tesseract_comm::RunConfig;
 use tesseract_core::layers::{TesseractLayerNorm, TesseractLinear};
 use tesseract_core::partition::{a_block, b_block};
 use tesseract_core::{
@@ -27,7 +27,7 @@ fn traced_step(shape: GridShape, trace: bool) -> tesseract_comm::RunOutput<Matri
     let rows = 8 * shape.q * shape.d;
     let a = random(rows, 16, 1);
     let b = random(16, 16, 2);
-    Cluster::a100(shape.size()).with_trace(trace).run(move |ctx| {
+    RunConfig::from_env(shape.size()).with_trace(trace).cluster().run(move |ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let a_loc = Arc::new(DenseTensor::from_matrix(a_block(&a, shape, i, j, k)));
@@ -116,7 +116,7 @@ fn scope_events_balance_under_tape_rewind() {
     let microbatches = 3usize;
     let xs: Vec<Matrix> = (0..microbatches).map(|m| random(8, 8, 30 + m as u64)).collect();
     let dys: Vec<Matrix> = (0..microbatches).map(|m| random(8, 8, 40 + m as u64)).collect();
-    let out = Cluster::a100(shape.size()).with_trace(true).run(move |ctx| {
+    let out = RunConfig::from_env(shape.size()).with_trace(true).cluster().run(move |ctx| {
         let grid = TesseractGrid::new(ctx, shape, 0);
         let (i, j, k) = grid.coords;
         let mut seq: Sequential<DenseTensor> = Sequential::new()

@@ -18,7 +18,8 @@
 use std::sync::Arc;
 
 use tesseract_baselines::megatron::{MegatronTransformer, MegatronWorld};
-use tesseract_comm::{Cluster, CostParams, RankReport, RunOutput, Topology};
+use tesseract_comm::{CostParams, RankReport, RunConfig, RunOutput, Topology};
+use tesseract_core::layers::StackOptions;
 use tesseract_core::{Module, TesseractGrid, TesseractTransformer, TransformerConfig};
 use tesseract_hybrid::HybridTransformer;
 use tesseract_tensor::ShadowTensor;
@@ -39,6 +40,10 @@ pub struct DryRun {
     /// Peak activation-traffic proxy: max over ranks of bytes the step
     /// materialized.
     pub peak_bytes: u64,
+    /// Measured peak of tape-held activation bytes: max over ranks of the
+    /// [`RankReport::activation_bytes_peak`] high-water mark. This is the
+    /// number sequence parallelism and recomputation actually shrink.
+    pub activation_peak_bytes: u64,
     /// Fraction of collective wait the split-phase pipelines hid under
     /// compute: Σ hidden / (Σ hidden + Σ blocked) over all ranks, in [0, 1].
     pub hidden_wait_frac: f64,
@@ -49,6 +54,7 @@ pub struct DryRun {
 fn collect(results: &[(f64, f64)], reports: &[RankReport], makespan: f64) -> DryRun {
     let forward = results.iter().map(|&(f, _)| f).fold(0.0, f64::max);
     let peak_bytes = reports.iter().map(|r| r.bytes_allocated).max().unwrap_or(0);
+    let activation_peak_bytes = reports.iter().map(|r| r.activation_bytes_peak).max().unwrap_or(0);
     let hidden: u64 = reports.iter().map(|r| r.overlap_hidden_nanos).sum();
     let blocked: u64 = reports.iter().map(|r| r.comm_wait_nanos).sum();
     let denom = hidden + blocked;
@@ -59,6 +65,7 @@ fn collect(results: &[(f64, f64)], reports: &[RankReport], makespan: f64) -> Dry
         forward_s: forward,
         backward_s: makespan - forward,
         peak_bytes,
+        activation_peak_bytes,
         hidden_wait_frac,
         comm_s,
     }
@@ -72,7 +79,7 @@ fn finish(out: RunOutput<(f64, f64)>) -> DryRun {
 /// Runs one simulated training step of `cand` on `topo`/`params`. The
 /// candidate must be feasible ([`Candidate::check`]); infeasible shapes
 /// panic inside the construction paths. `trace` forwards to
-/// [`Cluster::with_trace`] — traced runs are bitwise identical to untraced
+/// [`RunConfig::with_trace`] — traced runs are bitwise identical to untraced
 /// ones, so the planner's reported numbers can be re-derived alongside a
 /// full event trace.
 pub fn dry_run(
@@ -82,22 +89,47 @@ pub fn dry_run(
     cfg: &TransformerConfig,
     trace: bool,
 ) -> DryRun {
+    let run_cfg =
+        RunConfig::from_env(0).with_topology(*topo).with_params(*params).with_trace(trace);
+    dry_run_with_config(&run_cfg, cand, cfg)
+}
+
+/// [`dry_run`] driven by a full [`RunConfig`]: the cluster's topology, cost
+/// constants and trace toggle come from the config, and the
+/// sequence-parallel / recompute-every execution options are applied to
+/// Tesseract-grid candidates (the Megatron and hybrid schedules have no SP
+/// mode and ignore them). `run_cfg.world` is ignored — each candidate sets
+/// its own world size.
+pub fn dry_run_with_config(
+    run_cfg: &RunConfig,
+    cand: &Candidate,
+    cfg: &TransformerConfig,
+) -> DryRun {
+    let opts = StackOptions {
+        sequence_parallel: run_cfg.sequence_parallel,
+        recompute_every: run_cfg.recompute_every,
+    };
     match cand {
         Candidate::Tesseract { grid } => {
             let shape = *grid;
             let cfg = *cfg;
-            let out = Cluster::custom(shape.size(), *topo, *params).with_trace(trace).run(|ctx| {
+            let mut rc = *run_cfg;
+            rc.world = shape.size();
+            let out = rc.cluster().run(|ctx| {
                 let grid = TesseractGrid::new(ctx, shape, 0);
-                let mut model =
-                    TesseractTransformer::<ShadowTensor>::new(ctx, &grid, cfg, true, 0, 0);
+                let mut model = TesseractTransformer::<ShadowTensor>::new_with_options(
+                    ctx, &grid, cfg, true, 0, 0, opts,
+                );
                 let rows_local = cfg.rows() / (shape.q * shape.d);
                 let x = Arc::new(ShadowTensor::new(rows_local, cfg.hidden / shape.q));
                 let _ = model.forward(&grid, ctx, &x);
                 ctx.flush_compute();
                 let t_fwd = ctx.clock();
                 // Checkpointed backward: recompute forward + true
-                // backward (first forward's caches are modelled as
-                // discarded).
+                // backward. The first forward's caches are discarded for
+                // real (`reset_tape`), so the reported activation peak is
+                // the one the recompute convention actually holds.
+                model.reset_tape(ctx);
                 let y = model.forward(&grid, ctx, &x);
                 let _ = model.backward(&grid, ctx, &y);
                 ctx.flush_compute();
@@ -108,7 +140,9 @@ pub fn dry_run(
         Candidate::Megatron { p } => {
             let p = *p;
             let cfg = *cfg;
-            let out = Cluster::custom(p, *topo, *params).with_trace(trace).run(|ctx| {
+            let mut rc = *run_cfg;
+            rc.world = p;
+            let out = rc.cluster().run(|ctx| {
                 let world = MegatronWorld::from_mesh(ctx, &MegatronWorld::tp_mesh(p, 0));
                 let mut model = MegatronTransformer::<ShadowTensor>::new(&world, cfg, true, 0, 0);
                 // Activations are replicated: every rank sees the full batch.
@@ -116,6 +150,7 @@ pub fn dry_run(
                 let _ = model.forward(&world, ctx, &x);
                 ctx.flush_compute();
                 let t_fwd = ctx.clock();
+                model.reset_tape(ctx);
                 let y = model.forward(&world, ctx, &x);
                 let _ = model.backward(&world, ctx, &y);
                 ctx.flush_compute();
@@ -129,7 +164,9 @@ pub fn dry_run(
             // The engine wants the per-microbatch batch size; the planner's
             // cfg.batch is global.
             let engine_cfg = TransformerConfig { batch: cfg.batch / (shape.dp * mb), ..*cfg };
-            let out = Cluster::custom(shape.total(), *topo, *params).with_trace(trace).run(|ctx| {
+            let mut rc = *run_cfg;
+            rc.world = shape.total();
+            let out = rc.cluster().run(|ctx| {
                 let mut eng =
                     HybridTransformer::<ShadowTensor>::new(ctx, shape, engine_cfg, true, 0);
                 let rows_local = eng.cfg.rows() / (shape.grid.q * shape.grid.d);
@@ -155,6 +192,7 @@ pub fn dry_run(
                 }
                 ctx.flush_compute();
                 let t_fwd = ctx.clock();
+                eng.model.reset_tape(ctx);
                 // Backward phase in reverse microbatch order: recompute
                 // this stage's forward from the stashed input, then run
                 // the true backward on the recomputed tape.
@@ -230,6 +268,32 @@ mod tests {
         );
         assert_eq!(tess.makespan_s, hybrid.makespan_s);
         assert_eq!(tess.forward_s, hybrid.forward_s);
+    }
+
+    #[test]
+    fn sp_and_recompute_shrink_the_measured_activation_peak() {
+        let base = RunConfig::new(0);
+        let cand = Candidate::Tesseract { grid: GridShape::new(2, 1) };
+        let dense = dry_run_with_config(&base, &cand, &cfg());
+        let sp = dry_run_with_config(&base.with_sequence_parallel(true), &cand, &cfg());
+        let sp_rec = dry_run_with_config(
+            &base.with_sequence_parallel(true).with_recompute_every(Some(1)),
+            &cand,
+            &cfg(),
+        );
+        assert!(dense.activation_peak_bytes > 0, "dense dry run tracked no activations");
+        assert!(
+            sp.activation_peak_bytes < dense.activation_peak_bytes,
+            "SP peak {} must be below dense {}",
+            sp.activation_peak_bytes,
+            dense.activation_peak_bytes
+        );
+        assert!(
+            sp_rec.activation_peak_bytes < sp.activation_peak_bytes,
+            "recompute peak {} must be below SP {}",
+            sp_rec.activation_peak_bytes,
+            sp.activation_peak_bytes
+        );
     }
 
     #[test]

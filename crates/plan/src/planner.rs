@@ -128,19 +128,20 @@ impl Plan {
             self.cfg.layers
         ));
         out.push_str(
-            "  rank  arrangement                               analytic(s)  makespan(s)  seq/s      peak(MB)  hidden-wait\n",
+            "  rank  arrangement                               analytic(s)  makespan(s)  seq/s      peak(MB)  act-peak(MB)  hidden-wait\n",
         );
         for e in &self.entries {
             match (&e.status, &e.dryrun) {
                 (EntryStatus::Ranked(r), Some(d)) => {
                     out.push_str(&format!(
-                        "  {:>4}  {:<41} {:>10.4}  {:>10.4}  {:>8.2}  {:>8.1}  {:>10.3}\n",
+                        "  {:>4}  {:<41} {:>10.4}  {:>10.4}  {:>8.2}  {:>8.1}  {:>12.1}  {:>10.3}\n",
                         r,
                         e.label,
                         e.analytic.total_s(),
                         d.makespan_s,
                         self.cfg.batch as f64 / d.makespan_s,
                         d.peak_bytes as f64 / 1e6,
+                        d.activation_peak_bytes as f64 / 1e6,
                         d.hidden_wait_frac,
                     ));
                 }

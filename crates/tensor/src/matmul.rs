@@ -144,27 +144,34 @@ impl MicroKernel {
 
 static ACTIVE_KERNEL: OnceLock<MicroKernel> = OnceLock::new();
 
+/// Forces the micro-kernel backend for the whole process. This is the
+/// setter the run configuration installs (historically the
+/// `TESSERACT_KERNEL` env var, now parsed in `tesseract-comm`'s
+/// `RunConfig`); forcing an unsupported backend panics — a forced path must
+/// never silently degrade. Must run before the first blocked GEMM resolves
+/// the backend; forcing a *different* backend after resolution panics too,
+/// because the per-process parity guarantees would otherwise be violated.
+pub fn force_kernel(k: MicroKernel) {
+    assert!(
+        k.supported(),
+        "TESSERACT_KERNEL={} forced, but this host does not support it",
+        k.name()
+    );
+    let got = *ACTIVE_KERNEL.get_or_init(|| k);
+    assert_eq!(
+        got,
+        k,
+        "kernel backend already resolved to {} before {} was forced",
+        got.name(),
+        k.name()
+    );
+}
+
 /// The backend every host-feature-supported blocked GEMM runs on, resolved
-/// exactly once per process: the `TESSERACT_KERNEL` env var if set
-/// (`scalar` | `avx2` | `auto`; forcing an unsupported backend or setting
-/// an unknown value panics — a forced path must never silently degrade),
-/// else the widest backend the CPU supports.
+/// exactly once per process: the [`force_kernel`] override if one was
+/// installed first, else the widest backend the CPU supports.
 pub fn active_kernel() -> MicroKernel {
-    *ACTIVE_KERNEL.get_or_init(|| match std::env::var("TESSERACT_KERNEL") {
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "scalar" => MicroKernel::Scalar,
-            "avx2" => {
-                assert!(
-                    MicroKernel::Avx2.supported(),
-                    "TESSERACT_KERNEL=avx2 forced, but this host has no AVX2+FMA"
-                );
-                MicroKernel::Avx2
-            }
-            "" | "auto" => detect_kernel(),
-            other => panic!("invalid TESSERACT_KERNEL={other:?} (want scalar|avx2|auto)"),
-        },
-        Err(_) => detect_kernel(),
-    })
+    *ACTIVE_KERNEL.get_or_init(detect_kernel)
 }
 
 /// Widest supported backend, in preference order.

@@ -54,6 +54,12 @@ pub struct Meter {
     /// simulated time: it is the serving analogue of activation peak
     /// memory, the binding constraint at long sequence lengths.
     pub kv_cache_bytes_peak: u64,
+    /// Peak bytes of tape-held activations resident on this rank: the
+    /// training analogue of `kv_cache_bytes_peak`. A high-water mark over
+    /// the running total of bytes pushed-minus-popped across every
+    /// module's [`Tape`](../module) — what sequence parallelism and
+    /// checkpointed recomputation exist to shrink. Merge takes the max.
+    pub activation_bytes_peak: u64,
 }
 
 /// Converts simulated seconds into the integer-nanosecond resolution the
@@ -147,6 +153,13 @@ impl Meter {
         self.kv_cache_bytes_peak = self.kv_cache_bytes_peak.max(bytes);
     }
 
+    /// Raises the tape-held activation high-water mark to `bytes` if it is
+    /// the new peak. Called by the tape-accounting layer with the rank's
+    /// running tape total after every push.
+    pub fn note_activation_bytes(&mut self, bytes: u64) {
+        self.activation_bytes_peak = self.activation_bytes_peak.max(bytes);
+    }
+
     /// Merges another meter into this one (e.g. per-layer into per-step).
     pub fn merge(&mut self, other: &Meter) {
         self.flops += other.flops;
@@ -165,6 +178,7 @@ impl Meter {
         // Peak memory is a high-water mark, not a flow: merging windows
         // keeps the larger peak instead of summing.
         self.kv_cache_bytes_peak = self.kv_cache_bytes_peak.max(other.kv_cache_bytes_peak);
+        self.activation_bytes_peak = self.activation_bytes_peak.max(other.activation_bytes_peak);
     }
 
     /// Returns the current totals and resets the meter, for converting a
@@ -347,6 +361,21 @@ mod tests {
         c.note_kv_cache_bytes(4096);
         a.merge(&c);
         assert_eq!(a.kv_cache_bytes_peak, 4096);
+    }
+
+    #[test]
+    fn activation_peak_is_a_high_water_mark() {
+        let mut a = Meter::new();
+        a.note_activation_bytes(2048);
+        a.note_activation_bytes(512); // below the peak: must not lower it
+        assert_eq!(a.activation_bytes_peak, 2048);
+        // Pure bookkeeping: never turns into simulated time.
+        assert_eq!((a.kernels, a.bytes_allocated), (0, 0));
+        assert_eq!(a.flops, 0.0);
+        let mut b = Meter::new();
+        b.note_activation_bytes(4096);
+        a.merge(&b);
+        assert_eq!(a.activation_bytes_peak, 4096);
     }
 
     #[test]

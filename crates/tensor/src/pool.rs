@@ -18,11 +18,12 @@
 //! * A panicking task does not wedge the pool: remaining tasks still drain,
 //!   then the panic is re-raised on the submitting thread.
 //!
-//! The process-wide pool is lazily created on first use and sized by the
-//! `TESSERACT_THREADS` env var (default: `std::thread::available_parallelism`).
+//! The process-wide pool is lazily created on first use and sized by
+//! [`set_configured_threads`] — installed by the run configuration
+//! (`RunConfig`, which owns the `TESSERACT_THREADS` parsing) — defaulting to
+//! `std::thread::available_parallelism`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError, TryLockError};
 use std::thread::JoinHandle;
 
@@ -224,30 +225,29 @@ fn worker_loop(shared: &Shared) {
 // ---------------------------------------------------------------------------
 
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
-static ENV_WARNED: AtomicBool = AtomicBool::new(false);
+static THREAD_OVERRIDE: OnceLock<usize> = OnceLock::new();
 
-/// Thread count the global pool uses: `TESSERACT_THREADS` if set to a
-/// positive integer, else the machine's available parallelism.
-pub fn configured_threads() -> usize {
-    match std::env::var("TESSERACT_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                if !ENV_WARNED.swap(true, Ordering::Relaxed) {
-                    eprintln!(
-                        "tesseract: ignoring invalid TESSERACT_THREADS={v:?} (want a positive integer)"
-                    );
-                }
-                hardware_threads()
-            }
-        },
-        Err(_) => hardware_threads(),
-    }
+/// Overrides the thread count the global pool is built with. The first
+/// caller wins (later calls with a different value are ignored, like every
+/// once-per-process knob here), and the override only matters before the
+/// first dense kernel forces the pool into existence. This is the
+/// process-global setter the run configuration installs — nothing in this
+/// crate reads the environment.
+pub fn set_configured_threads(n: usize) {
+    assert!(n >= 1, "thread pool needs at least one thread");
+    let _ = THREAD_OVERRIDE.set(n);
 }
 
-/// Hardware execution streams the host exposes (ignores
-/// `TESSERACT_THREADS`). Benches record this next to the configured pool
-/// size so a scaling curve measured on a constrained host is interpretable.
+/// Thread count the global pool uses: the installed
+/// [`set_configured_threads`] override if any, else the machine's available
+/// parallelism.
+pub fn configured_threads() -> usize {
+    THREAD_OVERRIDE.get().copied().unwrap_or_else(hardware_threads)
+}
+
+/// Hardware execution streams the host exposes (ignores any configured
+/// override). Benches record this next to the configured pool size so a
+/// scaling curve measured on a constrained host is interpretable.
 pub fn host_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }

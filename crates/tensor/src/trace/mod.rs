@@ -16,8 +16,10 @@
 //! same accumulation order). That reconciliation is enforced by tests and
 //! by the `trace_dump` bench bin.
 //!
-//! Enable tracing either programmatically (`Cluster::with_trace(true)`) or
-//! for a whole process via the `TESSERACT_TRACE=1` environment variable.
+//! Enable tracing either per cluster (`RunConfig::with_trace(true)`) or
+//! for a whole process via the `TESSERACT_TRACE=1` environment variable,
+//! which `RunConfig::from_env` parses and installs here through
+//! [`set_default_enabled`].
 //! Export with [`chrome::chrome_trace_json`] and open the file in
 //! Perfetto / `chrome://tracing`; analyze with [`critical::critical_path`].
 
@@ -108,19 +110,20 @@ thread_local! {
     static TRACER: RefCell<Option<Tracer>> = const { RefCell::new(None) };
 }
 
-/// Whether `TESSERACT_TRACE` enables tracing for this process. Read once
-/// and cached; anything other than unset/empty/`0`/`false`/`off` enables.
-pub fn env_enabled() -> bool {
-    static ON: OnceLock<bool> = OnceLock::new();
-    *ON.get_or_init(|| match std::env::var("TESSERACT_TRACE") {
-        Ok(v) => {
-            !(v.is_empty()
-                || v == "0"
-                || v.eq_ignore_ascii_case("false")
-                || v.eq_ignore_ascii_case("off"))
-        }
-        Err(_) => false,
-    })
+static DEFAULT_ON: OnceLock<bool> = OnceLock::new();
+
+/// Installs the process-default trace toggle (first caller wins). This is
+/// the setter the run configuration applies after parsing
+/// `TESSERACT_TRACE`; nothing in this crate reads the environment.
+pub fn set_default_enabled(on: bool) {
+    let _ = DEFAULT_ON.set(on);
+}
+
+/// The process-default trace toggle: whatever [`set_default_enabled`]
+/// installed, or `false` if nothing did. Per-cluster `with_trace` overrides
+/// win over this default.
+pub fn default_enabled() -> bool {
+    DEFAULT_ON.get().copied().unwrap_or(false)
 }
 
 /// True iff a tracer is installed on this thread. Every hook gates on this

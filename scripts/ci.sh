@@ -8,6 +8,26 @@ cd "$(dirname "$0")/.."
 echo "== fmt check =="
 cargo fmt --check
 
+# Every TESSERACT_* environment knob is parsed in exactly one place —
+# RunConfig::from_env — so configuration stays auditable. Any other
+# env::var("TESSERACT_ read is a regression.
+echo "== env-knob gate (TESSERACT_* reads live only in RunConfig) =="
+stray=$(grep -rn 'env::var("TESSERACT_' crates src --include='*.rs' \
+    | grep -v '^crates/comm/src/runconfig.rs:' || true)
+if [ -n "$stray" ]; then
+    echo "ci.sh: TESSERACT_* env reads outside crates/comm/src/runconfig.rs:"
+    echo "$stray"
+    exit 1
+fi
+
+# Traces are regenerated artifacts (serve_sweep writes them under target/);
+# none may be committed.
+echo "== trace-artifact gate (no committed TRACE_*.json) =="
+if git ls-files | grep -q '^TRACE_.*\.json$'; then
+    echo "ci.sh: TRACE_*.json artifacts must not be committed (write under target/)"
+    exit 1
+fi
+
 echo "== build (release, offline, deny warnings) =="
 RUSTFLAGS="-D warnings" cargo build --workspace --release --offline
 
@@ -110,4 +130,24 @@ cmp target/BENCH_serving.smoke.json target/BENCH_serving.smoke2.json \
     || { echo "ci.sh: serve_sweep reruns are not byte-identical"; exit 1; }
 cmp target/TRACE_serving.smoke.json target/TRACE_serving.smoke2.json \
     || { echo "ci.sh: serve_sweep trace reruns are not byte-identical"; exit 1; }
+test -s target/TRACE_serving.smoke.json \
+    || { echo "ci.sh: serve_sweep wrote no trace"; exit 1; }
+grep -q '"traceEvents"' target/TRACE_serving.smoke.json \
+    || { echo "ci.sh: serve_sweep trace is not Chrome-trace JSON"; exit 1; }
+
+# sp_sweep asserts per rank, at every swept point, that sequence
+# parallelism strictly lowers the measured tape peak and recomputation
+# lowers it further, and that SP's non-boundary collective count never
+# exceeds dense; the greppable lines print only after those asserts held.
+echo "== sp_sweep smoke (tiny grids, SP memory + collective ledger) =="
+cargo run -q --release --offline -p tesseract-bench --bin sp_sweep -- \
+    --grids 2,1 --seqs 64,256 --out target/BENCH_sp.smoke.json > target/sp_sweep.smoke.log
+grep -q 'measured-peak bytes/GPU' target/sp_sweep.smoke.log \
+    || { echo "ci.sh: sp_sweep measured-peak column missing"; exit 1; }
+grep -q 'sp_peak_lt_dense:true' target/sp_sweep.smoke.log \
+    || { echo "ci.sh: sp_sweep SP-below-dense invariant missing"; exit 1; }
+grep -q 'rc_peak_lt_sp:true' target/sp_sweep.smoke.log \
+    || { echo "ci.sh: sp_sweep recompute-below-SP invariant missing"; exit 1; }
+grep -q 'sp_collectives_flat:true' target/sp_sweep.smoke.log \
+    || { echo "ci.sh: sp_sweep collective-flatness invariant missing"; exit 1; }
 echo "ci.sh: OK"
